@@ -1,0 +1,29 @@
+"""Benchmark fixtures: full-scale (365-day) experiment reproductions.
+
+Each bench regenerates one of the paper's tables/figures at the paper's
+scale, prints the regenerated rows, and asserts the qualitative shape
+claims recorded in DESIGN.md.  ``benchmark.pedantic(..., rounds=1)`` is
+used throughout: these are end-to-end reproductions, not microbenches,
+and a single round is what "regenerate the table" costs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+FULL_DAYS = 365
+
+
+@pytest.fixture(scope="session")
+def full_days():
+    """Trace length of the paper's setup."""
+    return FULL_DAYS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

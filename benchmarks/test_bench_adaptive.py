@@ -1,0 +1,71 @@
+"""Bench (extension): realizable dynamic parameter selection.
+
+Places the causal adaptive selectors of ``repro.core.adaptive`` on the
+ladder Table V motivates:
+
+    guideline static  >=  adaptive (causal)  ~  tuned static  >  clairvoyant
+
+Shape claims: every selector beats the *untuned* guideline static
+configuration on the variable site, lands within 15 % of the in-sample
+tuned static optimum, and stays (necessarily) above the clairvoyant
+both-dynamic bound.
+"""
+
+from conftest import run_once
+
+from repro.core.adaptive import (
+    EpsilonGreedySelector,
+    FollowTheLeaderSelector,
+    HedgeSelector,
+)
+from repro.core.dynamic import clairvoyant_dynamic
+from repro.core.optimizer import grid_search
+from repro.core.wcma import WCMAParams, WCMAPredictor
+from repro.metrics.evaluate import evaluate_predictor
+from repro.solar.datasets import build_dataset
+
+SITE = "ORNL"
+N_SLOTS = 48
+
+
+def _ladder(full_days):
+    trace = build_dataset(SITE, n_days=full_days)
+    static = grid_search(trace, N_SLOTS)
+    days = static.best.days
+    rungs = {
+        "static tuned (in-sample)": static.best_error,
+        "static guideline": evaluate_predictor(
+            WCMAPredictor(N_SLOTS, WCMAParams(0.7, 10, 2)), trace, N_SLOTS
+        ).mape,
+        "ftl": evaluate_predictor(
+            FollowTheLeaderSelector(N_SLOTS, days=days), trace, N_SLOTS
+        ).mape,
+        "epsilon-greedy": evaluate_predictor(
+            EpsilonGreedySelector(N_SLOTS, days=days, epsilon=0.05, seed=11),
+            trace,
+            N_SLOTS,
+        ).mape,
+        "hedge": evaluate_predictor(
+            HedgeSelector(N_SLOTS, days=days), trace, N_SLOTS
+        ).mape,
+        "clairvoyant both": clairvoyant_dynamic(
+            trace, N_SLOTS, days, mode="both"
+        ).mape,
+    }
+    return rungs
+
+
+def test_bench_adaptive(benchmark, full_days):
+    rungs = run_once(benchmark, _ladder, full_days)
+
+    print(f"\nAdaptive-selection ladder ({SITE}, N={N_SLOTS}):")
+    for name, value in sorted(rungs.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<26} MAPE {value * 100:6.2f}%")
+
+    for name in ("ftl", "epsilon-greedy", "hedge"):
+        # Above the clairvoyant bound (causality tax).
+        assert rungs[name] > rungs["clairvoyant both"], name
+        # Beats deploying the untuned guideline configuration.
+        assert rungs[name] < rungs["static guideline"], name
+        # Within 15% of the in-sample tuned optimum.
+        assert rungs[name] < rungs["static tuned (in-sample)"] * 1.15, name

@@ -1,0 +1,65 @@
+"""Bench (extension): site-calibration round trip at full scale.
+
+Calibrate a profile from one synthetic ORNL year, generate a new year
+from the fitted profile, and verify the regenerated trace preserves the
+properties the experiments consume: day-type mix, clearness, midday
+variability, and -- the acid test -- the WCMA difficulty (optimal MAPE
+within a factor of the source trace's).
+
+This is the workflow a user with a real NREL MIDC download follows to
+mint statistically similar extra years.
+"""
+
+from conftest import run_once
+
+from repro.core.optimizer import grid_search
+from repro.solar.calibration import calibrate_site
+from repro.solar.datasets import build_dataset
+from repro.solar.sites import get_site
+from repro.solar.statistics import trace_statistics
+from repro.solar.synthetic import generate_trace
+
+SITE = "ORNL"
+N_SLOTS = 48
+
+
+def _round_trip(full_days):
+    latitude = get_site(SITE).latitude_deg
+    source = build_dataset(SITE, n_days=full_days)
+    fitted = calibrate_site(source, latitude, name=f"{SITE}-FIT")
+    regenerated = generate_trace(fitted, n_days=full_days, seed=1234)
+    return {
+        "source_stats": trace_statistics(source, latitude),
+        "regen_stats": trace_statistics(regenerated, latitude),
+        "source_mape": grid_search(source, N_SLOTS).best_error,
+        "regen_mape": grid_search(regenerated, N_SLOTS).best_error,
+    }
+
+
+def test_bench_calibration(benchmark, full_days):
+    results = run_once(benchmark, _round_trip, full_days)
+    src = results["source_stats"]
+    regen = results["regen_stats"]
+
+    print(f"\nCalibration round trip ({SITE}, {N_SLOTS} slots):")
+    print(
+        f"  clear/partly/overcast: source "
+        f"{src.clear_fraction:.2f}/{src.partly_fraction:.2f}/{src.overcast_fraction:.2f}"
+        f"  regen {regen.clear_fraction:.2f}/{regen.partly_fraction:.2f}/{regen.overcast_fraction:.2f}"
+    )
+    print(
+        f"  clearness: {src.mean_clearness:.3f} -> {regen.mean_clearness:.3f}"
+        f"   variability: {src.midday_step_variability:.3f} -> "
+        f"{regen.midday_step_variability:.3f}"
+    )
+    print(
+        f"  WCMA optimal MAPE: source {results['source_mape'] * 100:.2f}%  "
+        f"regen {results['regen_mape'] * 100:.2f}%"
+    )
+
+    assert abs(regen.clear_fraction - src.clear_fraction) < 0.20
+    assert abs(regen.mean_clearness - src.mean_clearness) < 0.12
+    ratio = regen.midday_step_variability / src.midday_step_variability
+    assert 0.4 < ratio < 2.5
+    mape_ratio = results["regen_mape"] / results["source_mape"]
+    assert 0.5 < mape_ratio < 2.0

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 2 (six days of solar energy, 5-minute bins).
+
+Shape claims: the window shows real day-to-day variety (peak and daily
+energy vary by large factors) and intra-day structure exists (the
+series is not flat) -- the two observations the paper's motivational
+figure makes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, full_days):
+    result = run_once(benchmark, fig2.run, n_days=full_days)
+    print("\n" + result.render())
+
+    energies = np.array([row["energy_wh_m2"] for row in result.rows])
+    peaks = np.array([row["peak_wm2"] for row in result.rows])
+    assert len(result.rows) == 6
+    # Day-to-day variation: the best day collects much more than the worst.
+    assert energies.max() > 1.5 * energies.min()
+    assert peaks.max() > 0.0
+
+    series = fig2.series(n_days=full_days)
+    assert series.shape == (6, 288)
+    # Intra-day variation on at least one day: bursty drops like Fig. 2.
+    daylight = series[:, 96:192]
+    rel_step = np.abs(np.diff(daylight, axis=1)) / (daylight[:, :-1] + 1.0)
+    assert rel_step.max() > 0.2

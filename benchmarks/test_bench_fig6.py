@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 6 (overhead % vs N) -- exact match required."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig6
+from repro.experiments.paper_values import FIG6_OVERHEAD
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, fig6.run)
+    print("\n" + result.render())
+
+    percents = {row["n"]: row["overhead_percent"] for row in result.rows}
+    for n, expected_fraction in FIG6_OVERHEAD.items():
+        assert percents[n] == pytest.approx(expected_fraction * 100, abs=0.01), n
+
+    # Overhead scales linearly with N (pure sampling arithmetic).
+    assert percents[288] == pytest.approx(percents[24] * 12, rel=1e-6)

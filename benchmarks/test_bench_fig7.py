@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 7 (MAPE vs D, N=48, all six sites).
+
+Shape claims: every site's curve decreases (more history helps), the
+improvement from D=2 to D=10 dwarfs the improvement from D=10 to D=20
+(the paper's D~=10 guideline), and curve levels preserve the site
+ordering (PFCI lowest, ORNL highest).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, full_days):
+    result = run_once(benchmark, fig7.run, n_days=full_days)
+    print("\n" + result.render())
+
+    curves = {}
+    for row in result.rows:
+        curves.setdefault(row["data_set"], []).append((row["d"], row["mape"]))
+
+    assert set(curves) == {"SPMD", "ECSU", "ORNL", "HSU", "NPCS", "PFCI"}
+    levels = {}
+    for site, points in curves.items():
+        points.sort()
+        errors = np.array([e for _, e in points])
+        d_values = [d for d, _ in points]
+        assert d_values == list(range(2, 21)), site
+        # Overall decreasing (allow tiny noise between adjacent points).
+        assert errors[-1] <= errors[0], site
+        assert (np.diff(errors) < 0.01).all(), site
+        # Diminishing returns: D=2->10 gains at least 3x the D=10->20 gain.
+        early = errors[0] - errors[8]
+        late = errors[8] - errors[-1]
+        assert early > 3 * max(late, 0.0) or late < 0.005, site
+        levels[site] = errors[-1]
+
+    assert levels["PFCI"] < levels["NPCS"] < levels["HSU"]
+    assert levels["ORNL"] == max(levels.values())

@@ -1,0 +1,54 @@
+"""Bench (extension): Q15 fixed-point implementation study.
+
+The paper implements the predictor in C on the MSP430; a production
+port would use fixed point.  This bench quantifies the quantisation
+cost at full scale: the Q15 implementation must track the float one to
+within 0.2 MAPE percentage points while costing roughly an order of
+magnitude fewer arithmetic cycles.
+"""
+
+from conftest import run_once
+
+from repro.core.wcma import WCMAParams, WCMAPredictor
+from repro.hardware.cycles import FLOAT_COSTS, Q15_COSTS, arithmetic_cycles
+from repro.hardware.fixedpoint import FixedPointWCMA
+from repro.metrics.evaluate import evaluate_predictor
+from repro.solar.datasets import build_dataset
+
+SITES = ("HSU", "PFCI")
+N_SLOTS = 48
+PARAMS = WCMAParams(alpha=0.7, days=10, k=2)
+
+
+def _study(full_days):
+    out = {}
+    for site in SITES:
+        trace = build_dataset(site, n_days=full_days)
+        float_run = evaluate_predictor(
+            WCMAPredictor(N_SLOTS, PARAMS), trace, N_SLOTS
+        )
+        q15_run = evaluate_predictor(
+            FixedPointWCMA(N_SLOTS, PARAMS), trace, N_SLOTS
+        )
+        out[site] = (float_run.mape, q15_run.mape)
+    return out
+
+
+def test_bench_fixedpoint(benchmark, full_days):
+    results = run_once(benchmark, _study, full_days)
+
+    print("\nQ15 fixed-point vs float (N=48, alpha=0.7, D=10, K=2):")
+    for site, (float_mape, q15_mape) in results.items():
+        print(
+            f"  {site}: float {float_mape * 100:.3f}%  "
+            f"q15 {q15_mape * 100:.3f}%  "
+            f"delta {abs(q15_mape - float_mape) * 100:.3f} points"
+        )
+
+    for site, (float_mape, q15_mape) in results.items():
+        assert abs(q15_mape - float_mape) < 0.002, site
+
+    float_cycles = arithmetic_cycles(PARAMS.k, FLOAT_COSTS)
+    q15_cycles = arithmetic_cycles(PARAMS.k, Q15_COSTS)
+    print(f"  arithmetic cycles: float {float_cycles}, q15 {q15_cycles}")
+    assert q15_cycles * 4 < float_cycles

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table I (data-set inventory) at full scale."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+from repro.experiments.paper_values import TABLE1
+
+
+def test_bench_table1(benchmark, full_days):
+    result = run_once(benchmark, table1.run, n_days=full_days)
+    print("\n" + result.render())
+
+    by_site = {row["data_set"]: row for row in result.rows}
+    assert len(by_site) == 6
+    for site, expected in TABLE1.items():
+        row = by_site[site]
+        # Observation counts and resolutions must match the paper exactly.
+        assert row["observations"] == expected["observations"]
+        assert row["days"] == expected["days"]
+        assert row["resolution"] == f"{expected['resolution_minutes']} minutes"
+        assert row["location"] == expected["location"]

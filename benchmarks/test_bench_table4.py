@@ -1,0 +1,44 @@
+"""Bench: regenerate Table IV (energy accounting) -- exact match required.
+
+Unlike the trace-driven tables, Table IV is deterministic arithmetic
+over the calibrated hardware model, so every row must match the paper's
+measured numbers exactly (to display precision).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table4
+from repro.experiments.paper_values import TABLE4
+from repro.hardware.energy import daily_energy, prediction_energy
+from repro.hardware.mcu import MSP430F1611
+
+
+def test_bench_table4(benchmark):
+    result = run_once(benchmark, table4.run)
+    print("\n" + result.render())
+
+    adc_uj = 55.0
+    assert (adc_uj + prediction_energy(1, 0.7) * 1e6) == _approx(
+        TABLE4["adc_plus_prediction_k1_a07_uj"]
+    )
+    assert (adc_uj + prediction_energy(7, 0.7) * 1e6) == _approx(
+        TABLE4["adc_plus_prediction_k7_a07_uj"]
+    )
+    assert (adc_uj + prediction_energy(7, 0.0) * 1e6) == _approx(
+        TABLE4["adc_plus_prediction_k7_a00_uj"]
+    )
+    assert MSP430F1611.sleep_energy_per_day() * 1e3 == _approx(
+        TABLE4["sleep_per_day_mj"]
+    )
+    assert daily_energy(48, include_prediction=False) * 1e6 == _approx(
+        TABLE4["adc_48_per_day_uj"]
+    )
+    assert daily_energy(48) * 1e6 == _approx(
+        TABLE4["adc_plus_prediction_48_per_day_uj"]
+    )
+
+
+def _approx(value, tolerance=0.05):
+    import pytest
+
+    return pytest.approx(value, abs=tolerance)

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Close the loop: prediction accuracy -> duty-cycle behaviour (Fig. 1).
+
+The paper's introduction motivates prediction through harvested-energy
+management: a node that anticipates incoming energy can spend it
+instead of hoarding it, without browning out.  This example simulates a
+supercapacitor-buffered node on a variable site under three predictors
+(WCMA / EWMA / persistence) and two controllers (Kansal energy-neutral,
+Noh-style minimum-variance), plus an oracle bound.
+
+Run:  python examples/energy_neutral_node.py
+"""
+
+from repro import WCMAParams, WCMAPredictor, build_dataset
+from repro.core.baselines import PersistencePredictor
+from repro.core.ewma import EWMAPredictor
+from repro.management import (
+    DutyCycledLoad,
+    KansalController,
+    MinimumVarianceController,
+    OracleController,
+    PVHarvester,
+    SensorNodeSimulation,
+    Supercapacitor,
+)
+
+SITE = "SPMD"
+N_SLOTS = 48
+DAYS = 120
+
+# A deliberately tight energy system: small panel, supercap buffer that
+# holds only a few hours of full-duty operation, so prediction quality
+# actually matters.
+HARVESTER = PVHarvester(area_m2=25e-4, panel_efficiency=0.15)
+LOAD = DutyCycledLoad(active_power_watts=40e-3, sleep_power_watts=40e-6)
+CAPACITY_J = 250.0
+
+
+def simulate(name, predictor, controller, storage=None):
+    if storage is None:
+        storage = Supercapacitor(capacity_joules=CAPACITY_J, initial_soc=0.5)
+    sim = SensorNodeSimulation(
+        trace=build_dataset(SITE, n_days=DAYS),
+        n_slots=N_SLOTS,
+        predictor=predictor,
+        controller=controller,
+        harvester=HARVESTER,
+        storage=storage,
+        load=LOAD,
+    )
+    result = sim.run()
+    print(
+        f"{name:<34} duty {result.mean_duty * 100:5.1f}%  "
+        f"std {result.duty_std:.3f}  "
+        f"downtime {result.downtime_fraction * 100:5.2f}%  "
+        f"waste {result.waste_fraction * 100:5.1f}%"
+    )
+    return result
+
+
+def main() -> None:
+    print(f"Node simulation: {SITE}, {DAYS} days, N={N_SLOTS}, "
+          f"{CAPACITY_J:.0f} J supercap\n")
+
+    def wcma():
+        return WCMAPredictor(N_SLOTS, WCMAParams(alpha=0.7, days=10, k=2))
+
+    def kansal():
+        return KansalController(LOAD, CAPACITY_J, target_soc=0.6)
+
+    print("-- Kansal energy-neutral controller --")
+    simulate("WCMA predictor", wcma(), kansal())
+    simulate("EWMA predictor", EWMAPredictor(N_SLOTS), kansal())
+    simulate("Persistence predictor", PersistencePredictor(N_SLOTS), kansal())
+    simulate(
+        "Oracle (true slot mean)",
+        PersistencePredictor(N_SLOTS),
+        OracleController(LOAD, CAPACITY_J, target_soc=0.6),
+    )
+
+    # Smoothing the duty across day and night requires a buffer that can
+    # carry the night -- give the minimum-variance controller a small
+    # battery instead of the 250 J supercap.
+    from repro.management import Battery
+
+    battery_j = 4000.0
+    print("\n-- Minimum-variance controller (Noh-style), 4 kJ battery --")
+    simulate(
+        "WCMA predictor",
+        wcma(),
+        MinimumVarianceController(LOAD, battery_j, target_soc=0.6),
+        storage=Battery(capacity_joules=battery_j, initial_soc=0.6),
+    )
+    simulate(
+        "Persistence predictor",
+        PersistencePredictor(N_SLOTS),
+        MinimumVarianceController(LOAD, battery_j, target_soc=0.6),
+        storage=Battery(capacity_joules=battery_j, initial_soc=0.6),
+    )
+
+    print(
+        "\nBetter prediction lets the energy-neutral controller run a"
+        "\nhigher, steadier duty cycle with less spilled harvest -- the"
+        "\nsystem-level payoff behind the paper's MAPE comparisons."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Accuracy-cost trade-off on the MSP430 (Tables III+IV, Fig. 6).
+
+For each sampling rate N the paper weighs the accuracy gain against
+the sampling+prediction energy overhead.  This example regenerates that
+trade-off for one site and adds what the paper leaves implicit: the
+fixed-point (Q15) implementation's accuracy and cycle cost next to the
+floating-point one.
+
+Run:  python examples/hardware_budget.py [SITE]
+"""
+
+import sys
+
+from repro import WCMAParams, WCMAPredictor, build_dataset, grid_search
+from repro.hardware.cycles import (
+    FLOAT_COSTS,
+    Q15_COSTS,
+    arithmetic_cycles,
+    history_memory_bytes,
+    prediction_cycles,
+)
+from repro.hardware.energy import daily_energy, overhead_fraction
+from repro.hardware.fixedpoint import FixedPointWCMA
+from repro.metrics import evaluate_predictor
+from repro.solar.sites import get_site
+
+SITE = sys.argv[1].upper() if len(sys.argv) > 1 else "HSU"
+DAYS = 150
+
+
+def main() -> None:
+    trace = build_dataset(SITE, n_days=DAYS)
+    native = get_site(SITE).samples_per_day
+
+    print(f"Accuracy vs energy overhead on {SITE} ({DAYS} days)\n")
+    print(f"{'N':>4} {'horizon':>8} {'MAPE':>8} {'uJ/day':>8} {'overhead':>9}")
+    for n_slots in (288, 96, 72, 48, 24):
+        if native % n_slots:
+            continue
+        sweep = grid_search(trace, n_slots)
+        print(
+            f"{n_slots:>4} {24 * 60 // n_slots:>6}mn "
+            f"{sweep.best_error * 100:7.2f}% "
+            f"{daily_energy(n_slots) * 1e6:8.0f} "
+            f"{overhead_fraction(n_slots) * 100:8.2f}%"
+        )
+
+    print("\nImplementation cost per prediction (K=2):")
+    print(f"  measured-anchored model : {prediction_cycles(2):5d} cycles")
+    print(f"  arithmetic, float ops   : {arithmetic_cycles(2, FLOAT_COSTS):5d} cycles")
+    print(f"  arithmetic, Q15 ops     : {arithmetic_cycles(2, Q15_COSTS):5d} cycles")
+    print(f"  state RAM (D=10, N=48)  : {history_memory_bytes(10, 48, k_param=2):5d} bytes")
+
+    params = WCMAParams(alpha=0.7, days=10, k=2)
+    float_run = evaluate_predictor(WCMAPredictor(48, params), trace, 48)
+    q15_run = evaluate_predictor(FixedPointWCMA(48, params), trace, 48)
+    print("\nQuantisation cost of the Q15 port (N=48, guideline parameters):")
+    print(f"  float MAPE {float_run.mape * 100:.3f}%   Q15 MAPE {q15_run.mape * 100:.3f}%")
+
+    print(
+        "\nSampling dominates the energy budget (55 uJ vs ~4 uJ per event),"
+        "\nso higher N buys accuracy at a cost set by the ADC, not by the"
+        "\nprediction arithmetic -- the paper's Fig. 6 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

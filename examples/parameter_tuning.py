@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Parameter tuning walkthrough: reproduce the paper's design guidelines.
+
+Section IV-B of the paper distils the exhaustive sweeps into three
+rules of thumb:
+
+* D ~= 10 captures almost all the accuracy while bounding memory;
+* K = 2 is within a whisker of the optimal K;
+* alpha ~= 0.7 for 30-60 minute horizons (lower for longer horizons,
+  approaching 1 for very short ones).
+
+This example runs the actual sweeps on one site and prints the
+evidence behind each rule, including the predictor's RAM footprint on
+the MSP430 for each D.
+
+Run:  python examples/parameter_tuning.py [SITE]
+"""
+
+import sys
+
+from repro import build_dataset, grid_search
+from repro.hardware.cycles import history_memory_bytes
+
+SITE = sys.argv[1].upper() if len(sys.argv) > 1 else "HSU"
+N_SLOTS = 48
+DAYS = 180
+
+
+def main() -> None:
+    trace = build_dataset(SITE, n_days=DAYS)
+    print(f"Sweeping (alpha, D, K) on {SITE} at N={N_SLOTS} "
+          f"({DAYS}-day trace)...\n")
+    sweep = grid_search(trace, N_SLOTS)
+    best = sweep.best
+    print(
+        f"Optimum: alpha={best.alpha}, D={best.days}, K={best.k} "
+        f"-> MAPE {sweep.best_error * 100:.2f}%\n"
+    )
+
+    # Guideline 1: D ~= 10 is enough (Fig. 7).
+    print("MAPE vs D (at the optimal alpha, K) and MSP430 RAM use:")
+    a_idx = sweep.alphas.index(best.alpha)
+    k_idx = sweep.ks.index(best.k)
+    for i, d_value in enumerate(sweep.days):
+        if d_value % 2 and d_value != sweep.days[-1]:
+            continue
+        mape = sweep.errors[i, k_idx, a_idx]
+        ram = history_memory_bytes(d_value, N_SLOTS, k_param=best.k)
+        marker = " <= guideline D~=10" if d_value == 10 else ""
+        print(f"  D={d_value:2d}  MAPE {mape * 100:6.2f}%   RAM {ram:5d} B{marker}")
+
+    # Guideline 2: K=2 is nearly optimal.
+    print("\nBest achievable MAPE per K (alpha, D free):")
+    for k_value in sweep.ks:
+        params, err = sweep.best_for_k(k_value)
+        marker = " <= guideline K=2" if k_value == 2 else ""
+        print(
+            f"  K={k_value}  MAPE {err * 100:6.2f}%  "
+            f"(alpha={params.alpha}, D={params.days}){marker}"
+        )
+
+    # Guideline 3: alpha sensitivity at the optimal (D, K).
+    print("\nMAPE vs alpha (at the optimal D, K):")
+    d_idx = sweep.days.index(best.days)
+    for a, alpha in enumerate(sweep.alphas):
+        mape = sweep.errors[d_idx, k_idx, a]
+        bar = "#" * int(round(mape * 400))
+        print(f"  alpha={alpha:3.1f}  {mape * 100:6.2f}%  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Runs the full 365-day reproduction of each experiment and formats the
+comparison tables.  Takes a couple of minutes; run from the repo root::
+
+    python scripts/generate_experiments_md.py
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from pathlib import Path
+
+from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5
+from repro.experiments.paper_values import (
+    FIG6_OVERHEAD,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    TABLE5,
+)
+
+DAYS = 365
+
+
+def pct(value) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value * 100:.2f}%"
+
+
+def main() -> int:
+    out = io.StringIO()
+    w = out.write
+
+    w("# EXPERIMENTS — paper vs measured\n\n")
+    w(
+        "Reproduction of every table and figure of *Evaluation and Design "
+        "Exploration of Solar Harvested-Energy Prediction Algorithm* "
+        "(DATE 2010) on the synthetic NREL-MIDC stand-in traces "
+        "(see DESIGN.md for the substitution rationale).  All runs use the "
+        f"paper's setup: {DAYS}-day traces, days 21–365 scored, region of "
+        "interest ≥ 10 % of peak.  MAPE values are percentages.\n\n"
+        "Regenerate any row with `pytest benchmarks/test_bench_<id>.py "
+        "--benchmark-only -s`, or this whole file with "
+        "`python scripts/generate_experiments_md.py`.\n\n"
+    )
+
+    # ------------------------------------------------------------- Table I
+    w("## Table I — data sets\n\n")
+    w("Exact match by construction (the substitution preserves the sampling geometry).\n\n")
+    w("| site | location | observations | days | resolution |\n|---|---|---|---|---|\n")
+    for row in table1.run(n_days=DAYS).rows:
+        w(
+            f"| {row['data_set']} | {row['location']} | {row['observations']} "
+            f"| {row['days']} | {row['resolution']} |\n"
+        )
+
+    # ------------------------------------------------------------ Table II
+    w("\n## Table II — MAPE′ vs MAPE optimisation (N=48)\n\n")
+    w(
+        "| site | α′/D′/K′ (paper) | α′/D′/K′ (ours) | MAPE′ paper | MAPE′ ours "
+        "| α/D/K (paper) | α/D/K (ours) | MAPE paper | MAPE ours |\n"
+    )
+    w("|---|---|---|---|---|---|---|---|---|\n")
+    t2 = table2.run(n_days=DAYS)
+    for row in t2.rows:
+        site = row["data_set"]
+        p_prime = TABLE2[site]["prime"]
+        p_mape = TABLE2[site]["mape"]
+        w(
+            f"| {site} "
+            f"| {p_prime[0]}/{p_prime[1]}/{p_prime[2]} "
+            f"| {row['alpha_prime']}/{row['d_prime']}/{row['k_prime']} "
+            f"| {pct(p_prime[3])} | {pct(row['mape_prime'])} "
+            f"| {p_mape[0]}/{p_mape[1]}/{p_mape[2]} "
+            f"| {row['alpha']}/{row['d']}/{row['k']} "
+            f"| {pct(p_mape[3])} | {pct(row['mape'])} |\n"
+        )
+    w(
+        "\nShape claims reproduced: MAPE optimum far below MAPE′ optimum on "
+        "every site; MAPE optimisation selects higher α; site difficulty "
+        "ordering preserved (ORNL hardest, PFCI easiest).\n"
+    )
+
+    # ----------------------------------------------------------- Table III
+    w("\n## Table III — optimised parameters across N\n\n")
+    w(
+        "| site | N | α (paper/ours) | D (paper/ours) | K (paper/ours) "
+        "| MAPE paper | MAPE ours | MAPE@K=2 paper | MAPE@K=2 ours |\n"
+    )
+    w("|---|---|---|---|---|---|---|---|---|\n")
+    t3 = table3.run(n_days=DAYS)
+    for row in t3.rows:
+        key = (row["data_set"], row["n"])
+        paper = TABLE3[key]
+
+        def fmt(value):
+            return "n/a" if value is None else value
+
+        w(
+            f"| {row['data_set']} | {row['n']} "
+            f"| {fmt(paper[0])} / {row['alpha']} "
+            f"| {fmt(paper[1])} / {row['d']} "
+            f"| {fmt(paper[2])} / {row['k']} "
+            f"| {pct(paper[3])} | {pct(row['mape'])} "
+            f"| {pct(paper[4])} | {pct(row['mape_k2'])} |\n"
+        )
+    w(
+        "\nShape claims reproduced: MAPE strictly decreases with N per site; "
+        "α\\* rises toward 1 as N→288; the 5-minute sites give exactly 0 at "
+        "N=288 with α=1 (the paper's 0† entries); K=2 within 1 point of the "
+        "optimum at N≥48.\n"
+    )
+
+    # ------------------------------------------------------------ Table IV
+    w("\n## Table IV — energy accounting (exact)\n\n")
+    w("| hardware activity | paper | ours |\n|---|---|---|\n")
+    ours_rows = {r["hardware_activity"]: r["energy"] for r in table4.run().rows}
+    paper_rows = [
+        ("A/D conversion", f"{TABLE4['adc_event_uj']:.0f} uJ"),
+        (
+            "A/D conversion + Prediction (K=1, alpha=0.7)",
+            f"{TABLE4['adc_plus_prediction_k1_a07_uj']} uJ",
+        ),
+        (
+            "A/D conversion + Prediction (K=7, alpha=0.7)",
+            f"{TABLE4['adc_plus_prediction_k7_a07_uj']} uJ",
+        ),
+        (
+            "A/D conversion + Prediction (K=7, alpha=0.0)",
+            f"{TABLE4['adc_plus_prediction_k7_a00_uj']} uJ",
+        ),
+        ("Low power (sleep) mode", f"{TABLE4['sleep_per_day_mj']:.0f} mJ per day"),
+        (
+            "A/D conversion 48 samples per day @55uJ",
+            f"{TABLE4['adc_48_per_day_uj']:.0f} uJ per day",
+        ),
+        (
+            "A/D conversion + prediction 48 times per day @60uJ",
+            f"{TABLE4['adc_plus_prediction_48_per_day_uj']:.0f} uJ per day",
+        ),
+    ]
+    for activity, paper_value in paper_rows:
+        w(f"| {activity} | {paper_value} | {ours_rows[activity]} |\n")
+    w("\nAll rows match to display precision (the model is calibrated to these anchors).\n")
+
+    # ------------------------------------------------------------- Table V
+    w("\n## Table V — clairvoyant dynamic parameter selection\n\n")
+    w(
+        "| site | N | static (paper/ours) | K+α (paper/ours) "
+        "| K-only α (paper/ours) | K-only (paper/ours) "
+        "| α-only K (paper/ours) | α-only (paper/ours) |\n"
+    )
+    w("|---|---|---|---|---|---|---|---|\n")
+    t5 = table5.run(n_days=DAYS)
+    for row in t5.rows:
+        key = (row["data_set"], row["n"])
+        paper = TABLE5.get(key)
+        if paper is None:
+            continue
+
+        def fmt_k(value):
+            return "n/a" if value is None else value
+
+        w(
+            f"| {row['data_set']} | {row['n']} "
+            f"| {pct(paper[0])} / {pct(row['static_mape'])} "
+            f"| {pct(paper[1])} / {pct(row['both_mape'])} "
+            f"| {paper[2]} / {row['k_only_alpha']} "
+            f"| {pct(paper[3])} / {pct(row['k_only_mape'])} "
+            f"| {fmt_k(paper[4])} / {fmt_k(row['alpha_only_k'])} "
+            f"| {pct(paper[5])} / {pct(row['alpha_only_mape'])} |\n"
+        )
+    w(
+        "\nShape claims reproduced: K+α ≤ α-only ≤ K-only ≤ static per row; "
+        "gains grow as N shrinks; >10-point static→dynamic gain at N=24 on "
+        "the variable sites; best fixed α under dynamic-K is lower, and best "
+        "fixed K under dynamic-α higher, than the static optimum's values.\n"
+    )
+
+    # -------------------------------------------------------------- Fig. 2
+    w("\n## Fig. 2 — solar energy on six days\n\n")
+    w("| day | peak (W/m²) | energy (Wh/m²) | character |\n|---|---|---|---|\n")
+    for row in fig2.run(n_days=DAYS).rows:
+        w(
+            f"| {row['day']} | {row['peak_wm2']:.0f} | {row['energy_wh_m2']:.0f} "
+            f"| {row['day_character']} |\n"
+        )
+    w(
+        "\nQualitative match: large day-to-day and intra-day variation, as in "
+        "the paper's motivational figure.\n"
+    )
+
+    # -------------------------------------------------------------- Fig. 6
+    w("\n## Fig. 6 — prediction-activity overhead vs N (exact)\n\n")
+    w("| N | paper | ours |\n|---|---|---|\n")
+    for row in fig6.run().rows:
+        paper_value = FIG6_OVERHEAD[row["n"]] * 100
+        w(f"| {row['n']} | {paper_value:.2f}% | {row['overhead_percent']:.2f}% |\n")
+
+    # -------------------------------------------------------------- Fig. 7
+    w("\n## Fig. 7 — MAPE vs D (N=48)\n\n")
+    w("Curve levels at D = 2 / 10 / 20 per site (paper plots the full curves):\n\n")
+    w("| site | D=2 | D=10 | D=20 | D2→D10 gain | D10→D20 gain |\n|---|---|---|---|---|---|\n")
+    curves = fig7.series(n_days=DAYS)
+    for site, errors in curves.items():
+        d2, d10, d20 = errors[0], errors[8], errors[18]
+        w(
+            f"| {site} | {pct(d2)} | {pct(d10)} | {pct(d20)} "
+            f"| {pct(d2 - d10)} | {pct(d10 - d20)} |\n"
+        )
+    w(
+        "\nShape claims reproduced: every curve decreases and flattens near "
+        "D≈10 (the paper's memory-conserving guideline); site ordering "
+        "preserved.\n"
+    )
+
+    # ------------------------------------------------------------ Deviations
+    w(
+        "\n## Known deviations\n\n"
+        "* **Absolute MAPE levels** sit within roughly ±35 % of the paper's "
+        "values (calibrated cloud statistics, not the actual 2008-era NREL "
+        "measurements).  All monotonicities, orderings and crossovers hold.\n"
+        "* **Optimal K** tends 1 step higher (3–5 vs the paper's 1–3) at "
+        "small N: our synthetic clear-sky-index noise has slightly more "
+        "averaging-friendly structure than the measured traces.  The "
+        "operative guideline — K=2 within a fraction of a point of optimal "
+        "— reproduces.\n"
+        "* **Optimal α** at N=48 lands at 0.5–0.6 vs the paper's 0.6–0.7 "
+        "(one grid step); the α-vs-N trend is identical.\n"
+        "* **Dynamic at N=48 vs static at N=288**: the paper's ORNL static "
+        "N=288 error (8.31 %) is higher than ours (≈5.6 %), so the exact "
+        "dynamic@48 < static@288 comparison holds only marginally here; the "
+        "adjacent-horizon version (dynamic@48 < static@96) holds everywhere.\n"
+        "* **η dawn guard**: both implementations substitute η=1 when μ_D "
+        "is below 5 % of its daily peak; the paper does not describe its "
+        "handling of near-zero μ_D, and without some such guard no "
+        "parameter setting attains single-digit MAPE (see the module "
+        "docstring of `repro.core.wcma`).\n"
+    )
+
+    # ------------------------------------------------------------ Extensions
+    w(
+        "\n## Extension experiments (beyond the paper)\n\n"
+        "| bench | what it shows |\n|---|---|\n"
+        "| `test_bench_predictor_comparison` | WCMA beats EWMA/persistence/previous-day/unconditioned-average on sunny and variable sites (the [7]-style comparison) |\n"
+        "| `test_bench_adaptive` | causal FTL / ε-greedy / Hedge selectors beat the untuned guideline configuration and land within 15 % of the in-sample static optimum — the \"dynamic algorithm\" the paper calls for |\n"
+        "| `test_bench_fixedpoint` | Q15 port within 0.2 MAPE points of float at ~10× fewer arithmetic cycles |\n"
+        "| `test_bench_node_management` | year-long node simulation: prediction-driven duty control eliminates the fixed-duty node's downtime (Fig. 1 motivation, closed loop) |\n"
+        "| `test_bench_ablation_conditioning` | Φ_K carries real value (plain average ≥5 % worse); linear θ ties uniform, clearly beats reversed |\n"
+        "| `test_bench_ablation_roi` | reported MAPE falls as the ROI threshold rises, but parameter selection is stable — the 10 % choice is not load-bearing |\n"
+        "| `test_bench_planning` | the learned-daily-profile planner achieves the smoothest realizable duty cycle at Kansal-level downtime |\n"
+        "| `test_bench_calibration` | fit-a-profile-from-a-trace round trip: regenerated years preserve day-type mix, clearness and WCMA difficulty |\n"
+    )
+
+    Path("EXPERIMENTS.md").write_text(out.getvalue())
+    print(f"wrote EXPERIMENTS.md ({len(out.getvalue().splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""repro -- reproduction of "Evaluation and Design Exploration of Solar
+Harvested-Energy Prediction Algorithm" (Ali, Al-Hashimi, Recas, Atienza;
+DATE 2010).
+
+Public API overview
+-------------------
+
+Data substrate (:mod:`repro.solar`)
+    ``build_dataset("PFCI")`` returns a one-year synthetic stand-in for
+    the paper's NREL MIDC traces; ``SlotView`` decomposes a trace into
+    the N-slot structure the predictor operates on.
+
+Predictors (:mod:`repro.core`)
+    ``WCMAPredictor`` (the evaluated algorithm, Eqs. 1-5),
+    ``EWMAPredictor`` and simple baselines; ``grid_search`` for the
+    paper's exhaustive parameter optimisation; ``clairvoyant_dynamic``
+    for the Table V bound; adaptive selectors for the realizable
+    extension.
+
+Error measurement (:mod:`repro.metrics`)
+    MAPE / MAPE' / RMSE / MAE with the region-of-interest rule of
+    Section III; ``evaluate_predictor`` scores any online predictor.
+
+Hardware model (:mod:`repro.hardware`)
+    MSP430F1611 energy accounting (Table IV, Fig. 6) and a Q15
+    fixed-point implementation of the predictor.
+
+Energy management (:mod:`repro.management`)
+    Harvester, storage, consumer and controller models wired into a
+    full node simulation (Fig. 1).
+
+Experiments (:mod:`repro.experiments`)
+    One module per table/figure of the paper; see DESIGN.md for the
+    per-experiment index.
+
+Quickstart
+----------
+
+>>> from repro import build_dataset, WCMAParams, WCMAPredictor
+>>> from repro.metrics import evaluate_predictor
+>>> trace = build_dataset("PFCI", n_days=60)
+>>> predictor = WCMAPredictor(48, WCMAParams(alpha=0.7, days=10, k=2))
+>>> run = evaluate_predictor(predictor, trace, 48)
+>>> run.mape < 0.2
+True
+"""
+
+from repro.core import (
+    EWMAPredictor,
+    GridSearchResult,
+    OnlinePredictor,
+    WCMABatch,
+    WCMAParams,
+    WCMAPredictor,
+    clairvoyant_dynamic,
+    grid_search,
+    make_predictor,
+)
+from repro.metrics import evaluate_predictor
+from repro.solar import SolarTrace, SlotView, build_dataset, generate_trace, get_site
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "OnlinePredictor",
+    "WCMAParams",
+    "WCMAPredictor",
+    "WCMABatch",
+    "EWMAPredictor",
+    "GridSearchResult",
+    "grid_search",
+    "clairvoyant_dynamic",
+    "make_predictor",
+    "evaluate_predictor",
+    "SolarTrace",
+    "SlotView",
+    "build_dataset",
+    "generate_trace",
+    "get_site",
+]

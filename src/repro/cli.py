@@ -1,0 +1,200 @@
+"""Command-line front-end: regenerate the paper's tables and figures.
+
+Examples
+--------
+
+Run everything at full fidelity (the paper's 365-day setup)::
+
+    repro-solar run-all
+
+Quick look at one experiment on shorter traces::
+
+    repro-solar run table3 --days 120 --sites PFCI NPCS
+
+Export a synthetic trace for external tooling::
+
+    repro-solar export-trace PFCI --days 30 --out pfci.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.runner import EXPERIMENTS, render_report, run_all
+from repro.solar.datasets import available_datasets, build_dataset
+from repro.solar.io import write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-solar",
+        description=(
+            "Reproduction of 'Evaluation and Design Exploration of Solar "
+            "Harvested-Energy Prediction Algorithm' (DATE 2010)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_all_p = sub.add_parser("run-all", help="run every table/figure")
+    _add_run_options(run_all_p)
+
+    run_p = sub.add_parser("run", help="run selected experiments")
+    run_p.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS,
+        help="experiment ids to run",
+    )
+    _add_run_options(run_p)
+
+    export_p = sub.add_parser("export-trace", help="write a synthetic trace CSV")
+    export_p.add_argument("site", choices=available_datasets())
+    export_p.add_argument("--days", type=int, default=365)
+    export_p.add_argument("--seed", type=int, default=None)
+    export_p.add_argument("--out", required=True, help="output CSV path")
+
+    tune_p = sub.add_parser(
+        "tune", help="exhaustive (alpha, D, K) sweep on a site or trace CSV"
+    )
+    _add_trace_source(tune_p)
+    tune_p.add_argument("--n", type=int, default=48, help="slots per day")
+    tune_p.add_argument(
+        "--objective", choices=("mape", "mape_prime"), default="mape"
+    )
+
+    compare_p = sub.add_parser(
+        "compare", help="score every registered predictor on a site or CSV"
+    )
+    _add_trace_source(compare_p)
+    compare_p.add_argument("--n", type=int, default=48, help="slots per day")
+
+    summarize_p = sub.add_parser(
+        "summarize", help="detailed error diagnostics for one predictor"
+    )
+    _add_trace_source(summarize_p)
+    summarize_p.add_argument("--n", type=int, default=48, help="slots per day")
+    summarize_p.add_argument("--predictor", default="wcma")
+
+    plot_p = sub.add_parser("plot", help="render a figure as a text chart")
+    plot_p.add_argument("figure", choices=("fig2", "fig7"))
+    plot_p.add_argument("--days", type=int, default=365)
+    plot_p.add_argument("--site", default="SPMD", help="site for fig2")
+    plot_p.add_argument(
+        "--sites", nargs="+", default=None, metavar="SITE", help="sites for fig7"
+    )
+
+    sub.add_parser("list", help="list experiments and data sets")
+    return parser
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--site", choices=available_datasets())
+    source.add_argument("--trace", help="path to a repro-solar-trace CSV")
+    parser.add_argument(
+        "--days", type=int, default=365, help="synthetic trace length (with --site)"
+    )
+
+
+def _load_trace(args):
+    if args.trace is not None:
+        from repro.solar.io import read_csv
+
+        return read_csv(args.trace)
+    return build_dataset(args.site, n_days=args.days)
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--days", type=int, default=365, help="trace length in days (default 365)"
+    )
+    parser.add_argument(
+        "--sites",
+        nargs="+",
+        default=None,
+        metavar="SITE",
+        help="restrict to these sites (default: the paper's six)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("data sets:  ", ", ".join(available_datasets()))
+        return 0
+
+    if args.command == "export-trace":
+        trace = build_dataset(args.site, n_days=args.days, seed=args.seed)
+        write_csv(trace, args.out)
+        print(f"wrote {trace.n_samples} samples ({trace.n_days} days) to {args.out}")
+        return 0
+
+    if args.command == "tune":
+        from repro.core.optimizer import grid_search
+
+        trace = _load_trace(args)
+        sweep = grid_search(trace, args.n, objective=args.objective)
+        best = sweep.best
+        print(
+            f"best on {trace.name or 'trace'} at N={args.n} "
+            f"({args.objective}): alpha={best.alpha} D={best.days} "
+            f"K={best.k} -> {sweep.best_error:.2%}"
+        )
+        k2_params, k2_err = sweep.best_for_k(2)
+        print(
+            f"guideline check: K=2 best {k2_err:.2%} "
+            f"(alpha={k2_params.alpha}, D={k2_params.days})"
+        )
+        return 0
+
+    if args.command == "compare":
+        from repro.core.registry import available_predictors, make_predictor
+        from repro.metrics import evaluate_predictor
+
+        trace = _load_trace(args)
+        print(f"predictor comparison on {trace.name or 'trace'} at N={args.n}:")
+        scores = []
+        for name in available_predictors():
+            predictor = make_predictor(name, args.n)
+            run = evaluate_predictor(predictor, trace, args.n)
+            scores.append((run.mape, name))
+        for mape_value, name in sorted(scores):
+            print(f"  {name:<16} MAPE {mape_value:7.2%}")
+        return 0
+
+    if args.command == "summarize":
+        from repro.core.registry import make_predictor
+        from repro.metrics import evaluate_predictor, format_summary, summarise
+
+        trace = _load_trace(args)
+        predictor = make_predictor(args.predictor, args.n)
+        run = evaluate_predictor(predictor, trace, args.n)
+        print(f"{args.predictor} on {trace.name or 'trace'} at N={args.n}:")
+        print(format_summary(summarise(run)))
+        return 0
+
+    if args.command == "plot":
+        from repro.plotting import render_fig2, render_fig7
+
+        if args.figure == "fig2":
+            print(render_fig2(n_days=args.days, site=args.site.upper()))
+        else:
+            print(render_fig7(n_days=args.days, sites=args.sites))
+        return 0
+
+    only = None if args.command == "run-all" else args.experiments
+    results = run_all(n_days=args.days, sites=args.sites, only=only)
+    print(render_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Core prediction algorithms (the paper's primary subject).
+
+* :mod:`repro.core.wcma` -- the evaluated predictor of Recas et al. [5]
+  (Eqs. 1-5): online class plus a vectorized batch engine used by the
+  parameter sweeps.
+* :mod:`repro.core.ewma` -- the EWMA predictor of Kansal et al. [2].
+* :mod:`repro.core.baselines` -- persistence / moving-average / previous-
+  day baselines used for comparison experiments.
+* :mod:`repro.core.optimizer` -- exhaustive (alpha, D, K) grid search
+  minimising MAPE or MAPE' (Section IV-B).
+* :mod:`repro.core.dynamic` -- clairvoyant per-prediction parameter
+  selection (Section IV-C, Table V).
+* :mod:`repro.core.adaptive` -- *extension*: realizable online dynamic
+  parameter selection (follow-the-leader, epsilon-greedy).
+* :mod:`repro.core.registry` -- predictor factories by name.
+"""
+
+from repro.core.base import OnlinePredictor
+from repro.core.wcma import WCMAParams, WCMAPredictor, WCMABatch
+from repro.core.ewma import EWMAPredictor
+from repro.core.baselines import (
+    MovingAveragePredictor,
+    PersistencePredictor,
+    PreviousDayPredictor,
+)
+from repro.core.proenergy import ProEnergyPredictor
+from repro.core.regression import ARPredictor, SlotLinearTrendPredictor
+from repro.core.optimizer import GridSearchResult, grid_search
+from repro.core.dynamic import DynamicResult, clairvoyant_dynamic
+from repro.core.adaptive import AdaptiveSelector, FollowTheLeaderSelector, EpsilonGreedySelector
+from repro.core.registry import available_predictors, make_predictor
+
+__all__ = [
+    "OnlinePredictor",
+    "WCMAParams",
+    "WCMAPredictor",
+    "WCMABatch",
+    "EWMAPredictor",
+    "PersistencePredictor",
+    "MovingAveragePredictor",
+    "PreviousDayPredictor",
+    "ProEnergyPredictor",
+    "ARPredictor",
+    "SlotLinearTrendPredictor",
+    "GridSearchResult",
+    "grid_search",
+    "DynamicResult",
+    "clairvoyant_dynamic",
+    "AdaptiveSelector",
+    "FollowTheLeaderSelector",
+    "EpsilonGreedySelector",
+    "available_predictors",
+    "make_predictor",
+]

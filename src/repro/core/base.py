@@ -1,0 +1,151 @@
+"""Online predictor protocol and shared history machinery.
+
+Every predictor in this package follows the same node-side contract,
+mirroring the paper's Fig. 5 sequence: once per slot the node wakes,
+measures the incoming power, and produces a prediction for the upcoming
+slot.  In code::
+
+    predictor.reset()
+    for sample in start_of_slot_samples:      # time order
+        prediction = predictor.observe(sample)
+
+``observe`` returns the prediction made *at* that boundary for the slot
+that is just beginning (equivalently, for the power at the next
+boundary -- ``ê(n+1)`` in the paper's notation).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["OnlinePredictor", "DayHistory"]
+
+
+class OnlinePredictor(abc.ABC):
+    """Abstract base class for slot-by-slot online predictors."""
+
+    #: Slots per day this predictor was configured for.
+    n_slots: int
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all history and return to the initial state."""
+
+    @abc.abstractmethod
+    def observe(self, value: float) -> float:
+        """Consume the start-of-slot measurement, return the prediction.
+
+        Parameters
+        ----------
+        value:
+            Measured power at the current slot boundary (``ẽ(n)``).
+
+        Returns
+        -------
+        float
+            Prediction for the next boundary / upcoming slot (``ê(n+1)``).
+        """
+
+    def run(self, samples: np.ndarray) -> np.ndarray:
+        """Feed a flat, time-ordered sample array; return all predictions.
+
+        ``predictions[t]`` is the prediction made at boundary ``t`` (for
+        boundary ``t+1``).  The predictor is *not* reset first, so warm
+        state can be carried across calls; call :meth:`reset` explicitly
+        for a cold start.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ValueError(f"samples must be 1-D, got shape {samples.shape}")
+        out = np.empty_like(samples)
+        for t, value in enumerate(samples):
+            out[t] = self.observe(float(value))
+        return out
+
+
+class DayHistory:
+    """Ring buffer of the last ``depth`` completed days of slot samples.
+
+    Used by predictors that condition on "the same slot on previous
+    days" (WCMA's ``E_{D x N}`` matrix, EWMA's per-slot smoothing).
+
+    The buffer distinguishes *completed* days (full rows) from the
+    current, partially observed day.  ``push_slot`` appends to the
+    current day and automatically rolls it into history when the row
+    fills up.
+    """
+
+    def __init__(self, n_slots: int, depth: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.n_slots = n_slots
+        self.depth = depth
+        self._rows = np.zeros((depth, n_slots), dtype=float)
+        self._n_complete = 0
+        self._write_row = 0
+        self._current = np.zeros(n_slots, dtype=float)
+        self._slot = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_complete_days(self) -> int:
+        """Number of fully observed days available (capped at ``depth``)."""
+        return min(self._n_complete, self.depth)
+
+    @property
+    def total_days_completed(self) -> int:
+        """Days completed since reset (uncapped; grows forever)."""
+        return self._n_complete
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the next slot to be written on the current day."""
+        return self._slot
+
+    def push_slot(self, value: float) -> None:
+        """Record the start-of-slot sample for the current slot."""
+        self._current[self._slot] = value
+        self._slot += 1
+        if self._slot == self.n_slots:
+            self._rows[self._write_row] = self._current
+            self._write_row = (self._write_row + 1) % self.depth
+            self._n_complete += 1
+            self._slot = 0
+
+    def slot_mean(self, slot: int, depth: Optional[int] = None) -> float:
+        """Mean of ``slot``'s samples over the last ``depth`` complete days.
+
+        ``μ_D(slot)`` in the paper (Eq. 2).  Returns ``nan`` when no
+        complete day is available yet.
+        """
+        use = self.n_complete_days if depth is None else min(depth, self.n_complete_days)
+        if use == 0:
+            return float("nan")
+        rows = self._recent_rows(use)
+        return float(rows[:, slot % self.n_slots].mean())
+
+    def slot_column(self, slot: int, depth: Optional[int] = None) -> np.ndarray:
+        """Samples of ``slot`` over the last ``depth`` complete days (oldest first)."""
+        use = self.n_complete_days if depth is None else min(depth, self.n_complete_days)
+        if use == 0:
+            return np.empty(0, dtype=float)
+        return self._recent_rows(use)[:, slot % self.n_slots].copy()
+
+    def _recent_rows(self, count: int) -> np.ndarray:
+        """The last ``count`` completed day rows, oldest first."""
+        end = self._write_row
+        idx = (np.arange(end - count, end)) % self.depth
+        return self._rows[idx]
+
+    def reset(self) -> None:
+        """Clear all state."""
+        self._rows.fill(0.0)
+        self._current.fill(0.0)
+        self._n_complete = 0
+        self._write_row = 0
+        self._slot = 0

@@ -1,0 +1,97 @@
+"""Simple baseline predictors used in comparison experiments.
+
+These are the naive strategies the related work measures against:
+
+* :class:`PersistencePredictor` -- "the next slot looks like this one"
+  (equivalent to WCMA with ``alpha = 1``).
+* :class:`PreviousDayPredictor` -- "the next slot looks like the same
+  slot yesterday".
+* :class:`MovingAveragePredictor` -- unconditioned ``μ_D`` (WCMA with
+  ``alpha = 0`` and the conditioning factor forced to 1): the paper's
+  *conditioned average term* without the conditioning, which isolates
+  the contribution of ``Φ_K`` in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import DayHistory, OnlinePredictor
+
+__all__ = [
+    "PersistencePredictor",
+    "PreviousDayPredictor",
+    "MovingAveragePredictor",
+]
+
+
+class PersistencePredictor(OnlinePredictor):
+    """Predicts that the next slot's power equals the current sample."""
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        self.n_slots = n_slots
+
+    def reset(self) -> None:
+        pass  # stateless
+
+    def observe(self, value: float) -> float:
+        if value < 0:
+            raise ValueError(f"power sample must be non-negative, got {value}")
+        return float(value)
+
+
+class PreviousDayPredictor(OnlinePredictor):
+    """Predicts the next slot from the same slot exactly one day ago."""
+
+    def __init__(self, n_slots: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        self.n_slots = n_slots
+        self._history = DayHistory(n_slots=n_slots, depth=1)
+
+    def reset(self) -> None:
+        self._history.reset()
+
+    def observe(self, value: float) -> float:
+        if value < 0:
+            raise ValueError(f"power sample must be non-negative, got {value}")
+        slot = self._history.current_slot
+        if self._history.n_complete_days > 0:
+            prediction = self._history.slot_mean(slot + 1, 1)
+        else:
+            prediction = value
+        self._history.push_slot(value)
+        return float(prediction)
+
+
+class MovingAveragePredictor(OnlinePredictor):
+    """Predicts the next slot as its unconditioned ``μ_D`` average.
+
+    Equivalent to WCMA with ``alpha = 0`` and ``Φ_K ≡ 1``; comparing it
+    with real WCMA isolates the benefit of the conditioning factor.
+    """
+
+    def __init__(self, n_slots: int, days: int = 10):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        self.n_slots = n_slots
+        self.days = days
+        self._history = DayHistory(n_slots=n_slots, depth=days)
+
+    def reset(self) -> None:
+        self._history.reset()
+
+    def observe(self, value: float) -> float:
+        if value < 0:
+            raise ValueError(f"power sample must be non-negative, got {value}")
+        slot = self._history.current_slot
+        if self._history.n_complete_days > 0:
+            prediction = self._history.slot_mean(slot + 1, self.days)
+        else:
+            prediction = value
+        self._history.push_slot(value)
+        return float(prediction)

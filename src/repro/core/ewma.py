@@ -1,0 +1,72 @@
+"""EWMA predictor of Kansal et al. [2] -- the classic baseline.
+
+Kansal's predictor keeps, for every slot of the day, an exponentially
+weighted moving average of the power observed in that slot on previous
+days::
+
+    x(d, n) = gamma * e(d-1, n) + (1 - gamma) * x(d-1, n)
+
+and predicts the upcoming slot from its own historical average.  It
+adapts across days but, unlike WCMA, ignores how the *current* day is
+unfolding -- which is exactly the weakness the conditioning factor
+``Φ_K`` of the evaluated algorithm addresses.  The comparison experiment
+(`benchmarks/test_bench_predictor_comparison.py`) quantifies this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import OnlinePredictor
+
+__all__ = ["EWMAPredictor"]
+
+
+class EWMAPredictor(OnlinePredictor):
+    """Per-slot exponentially weighted moving average predictor.
+
+    Parameters
+    ----------
+    n_slots:
+        Slots per day (``N``).
+    gamma:
+        Smoothing weight on the most recent day, ``0 <= gamma <= 1``.
+        Kansal et al. use 0.5.
+    """
+
+    def __init__(self, n_slots: int, gamma: float = 0.5):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        self.n_slots = n_slots
+        self.gamma = gamma
+        self._averages = np.zeros(n_slots, dtype=float)
+        self._seen = np.zeros(n_slots, dtype=bool)
+        self._slot = 0
+
+    def reset(self) -> None:
+        self._averages.fill(0.0)
+        self._seen.fill(False)
+        self._slot = 0
+
+    def observe(self, value: float) -> float:
+        if value < 0:
+            raise ValueError(f"power sample must be non-negative, got {value}")
+        slot = self._slot
+        # Update this slot's average with today's observation.
+        if self._seen[slot]:
+            self._averages[slot] = (
+                self.gamma * value + (1.0 - self.gamma) * self._averages[slot]
+            )
+        else:
+            self._averages[slot] = value
+            self._seen[slot] = True
+
+        next_slot = (slot + 1) % self.n_slots
+        if self._seen[next_slot]:
+            prediction = self._averages[next_slot]
+        else:
+            prediction = value  # warm-up: persistence until history exists
+        self._slot = next_slot
+        return float(prediction)

@@ -1,0 +1,215 @@
+"""Exhaustive parameter optimisation (Section IV of the paper).
+
+For a given trace and sampling rate ``N``, sweep the full
+``(alpha, D, K)`` grid and find the combination minimising the average
+error.  Both error definitions are supported so Table II (MAPE vs
+MAPE') can be reproduced:
+
+* ``objective="mape"``  -- Eq. 7 / Eq. 8 (slot-mean reference), the
+  paper's preferred function;
+* ``objective="mape_prime"`` -- Eq. 6 (next-boundary-sample reference),
+  as used by previous works.
+
+The sweep is organised so the expensive pieces are shared: ``μ_D`` and
+``η`` are computed once per ``D``, the conditioned term once per
+``(D, K)``, and each ``alpha`` then costs one fused multiply-add over
+the region of interest (see :class:`repro.core.wcma.WCMABatch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.wcma import WCMABatch, WCMAParams
+from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
+from repro.solar.trace import SolarTrace
+
+__all__ = [
+    "DEFAULT_ALPHAS",
+    "DEFAULT_DAYS",
+    "DEFAULT_KS",
+    "GridSearchResult",
+    "grid_search",
+    "mape_for_params",
+]
+
+#: Paper grid: 0 <= alpha <= 1 in steps of 0.1.
+DEFAULT_ALPHAS: Tuple[float, ...] = tuple(round(a * 0.1, 1) for a in range(11))
+#: Paper grid: 2 <= D <= 20.
+DEFAULT_DAYS: Tuple[int, ...] = tuple(range(2, 21))
+#: Paper grid: 1 <= K <= 6.
+DEFAULT_KS: Tuple[int, ...] = tuple(range(1, 7))
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of one exhaustive sweep.
+
+    Attributes
+    ----------
+    best:
+        The error-minimising :class:`WCMAParams`.
+    best_error:
+        The minimised average error (fraction).
+    objective:
+        ``"mape"`` or ``"mape_prime"``.
+    errors:
+        Full error cube, shape ``(len(days), len(ks), len(alphas))``.
+    alphas, days, ks:
+        The grids the cube is indexed by.
+    n_slots:
+        Sampling rate ``N`` the sweep was run at.
+    """
+
+    best: WCMAParams
+    best_error: float
+    objective: str
+    errors: np.ndarray
+    alphas: Tuple[float, ...]
+    days: Tuple[int, ...]
+    ks: Tuple[int, ...]
+    n_slots: int
+
+    def error_at(self, alpha: float, days: int, k: int) -> float:
+        """Error of one grid point (exact match on grid values)."""
+        try:
+            i = self.days.index(days)
+            j = self.ks.index(k)
+            a = self.alphas.index(alpha)
+        except ValueError:
+            raise KeyError(f"({alpha}, {days}, {k}) is not on the sweep grid")
+        return float(self.errors[i, j, a])
+
+    def best_for_k(self, k: int) -> Tuple[WCMAParams, float]:
+        """Best (alpha, D) and error for a fixed ``K`` (Table III, last column)."""
+        j = self.ks.index(k)
+        plane = self.errors[:, j, :]
+        i, a = np.unravel_index(np.nanargmin(plane), plane.shape)
+        params = WCMAParams(alpha=self.alphas[a], days=self.days[i], k=k)
+        return params, float(plane[i, a])
+
+    def best_for_days(self, days: int) -> Tuple[WCMAParams, float]:
+        """Best (alpha, K) and error for a fixed ``D`` (Fig. 7 series)."""
+        i = self.days.index(days)
+        plane = self.errors[i, :, :]
+        j, a = np.unravel_index(np.nanargmin(plane), plane.shape)
+        params = WCMAParams(alpha=self.alphas[a], days=days, k=self.ks[j])
+        return params, float(plane[j, a])
+
+
+def grid_search(
+    trace: SolarTrace,
+    n_slots: int,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    days: Sequence[int] = DEFAULT_DAYS,
+    ks: Sequence[int] = DEFAULT_KS,
+    objective: str = "mape",
+    roi_fraction: float = DEFAULT_ROI_FRACTION,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+    batch: WCMABatch = None,
+) -> GridSearchResult:
+    """Sweep the (alpha, D, K) grid on ``trace`` at sampling rate ``N``.
+
+    Parameters
+    ----------
+    trace:
+        Native-resolution solar trace.
+    n_slots:
+        Slots per day (``N``); must divide the trace's samples/day.
+    alphas, days, ks:
+        Parameter grids; default to the paper's ranges.
+    objective:
+        ``"mape"`` (Eq. 7 reference) or ``"mape_prime"`` (Eq. 6).
+    roi_fraction, warmup_days:
+        Region-of-interest configuration (Section III / IV-A).
+    batch:
+        Optional pre-built :class:`WCMABatch` to reuse its caches across
+        multiple sweeps of the same trace and ``N``.
+
+    Returns
+    -------
+    GridSearchResult
+    """
+    if objective not in ("mape", "mape_prime"):
+        raise ValueError(f"objective must be 'mape' or 'mape_prime', got {objective!r}")
+    alphas = tuple(float(a) for a in alphas)
+    days = tuple(int(d) for d in days)
+    ks = tuple(int(k) for k in ks)
+    if not alphas or not days or not ks:
+        raise ValueError("parameter grids must be non-empty")
+    if max(days) * 2 > trace.n_days:
+        # Not fatal, but the warm-up convention assumes enough days for a
+        # full history plus a scored region.
+        if max(days) >= trace.n_days:
+            raise ValueError(
+                f"history depth D={max(days)} needs more days than the "
+                f"trace provides ({trace.n_days})"
+            )
+
+    if batch is None:
+        batch = WCMABatch.from_trace(trace, n_slots)
+    s = batch.starts_flat[:-1]
+
+    if objective == "mape":
+        reference = batch.reference_mean
+    else:
+        reference = batch.reference_next_start
+    mask = roi_mask(
+        reference, n_slots, roi_fraction=roi_fraction, warmup_days=warmup_days
+    )
+    ref_sel = reference[mask]
+    s_sel = s[mask]
+    if ref_sel.size == 0:
+        raise ValueError("region of interest is empty; trace too short or dark")
+
+    alpha_vec = np.asarray(alphas, dtype=float)[:, None]  # (A, 1)
+    errors = np.full((len(days), len(ks), len(alphas)), np.nan)
+
+    for i, d_param in enumerate(days):
+        for j, k_param in enumerate(ks):
+            q_sel = batch.conditioned_term(d_param, k_param)[mask]
+            # predictions for all alphas at once: (A, T_sel)
+            preds = alpha_vec * s_sel + (1.0 - alpha_vec) * q_sel
+            pct = np.abs(ref_sel - preds) / ref_sel
+            errors[i, j, :] = pct.mean(axis=1)
+
+    flat_best = np.nanargmin(errors)
+    i, j, a = np.unravel_index(flat_best, errors.shape)
+    best = WCMAParams(alpha=alphas[a], days=days[i], k=ks[j])
+    return GridSearchResult(
+        best=best,
+        best_error=float(errors[i, j, a]),
+        objective=objective,
+        errors=errors,
+        alphas=alphas,
+        days=days,
+        ks=ks,
+        n_slots=n_slots,
+    )
+
+
+def mape_for_params(
+    trace: SolarTrace,
+    n_slots: int,
+    params: WCMAParams,
+    objective: str = "mape",
+    roi_fraction: float = DEFAULT_ROI_FRACTION,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+    batch: WCMABatch = None,
+) -> float:
+    """Average error of a single parameter set (convenience wrapper)."""
+    result = grid_search(
+        trace,
+        n_slots,
+        alphas=(params.alpha,),
+        days=(params.days,),
+        ks=(params.k,),
+        objective=objective,
+        roi_fraction=roi_fraction,
+        warmup_days=warmup_days,
+        batch=batch,
+    )
+    return result.best_error

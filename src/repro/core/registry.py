@@ -1,0 +1,96 @@
+"""Predictor factory registry.
+
+Maps short names to constructors so experiments, the CLI and the node
+simulator can select predictors by string.  Registered defaults:
+
+========== =====================================================
+``wcma``   :class:`~repro.core.wcma.WCMAPredictor`
+``ewma``   :class:`~repro.core.ewma.EWMAPredictor`
+``persistence`` :class:`~repro.core.baselines.PersistencePredictor`
+``previous-day`` :class:`~repro.core.baselines.PreviousDayPredictor`
+``moving-average`` :class:`~repro.core.baselines.MovingAveragePredictor`
+========== =====================================================
+
+Third-party predictors can be added with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import OnlinePredictor
+from repro.core.baselines import (
+    MovingAveragePredictor,
+    PersistencePredictor,
+    PreviousDayPredictor,
+)
+from repro.core.ewma import EWMAPredictor
+from repro.core.wcma import WCMAParams, WCMAPredictor
+
+__all__ = ["register", "make_predictor", "available_predictors"]
+
+_FACTORIES: Dict[str, Callable[..., OnlinePredictor]] = {}
+
+
+def register(name: str, factory: Callable[..., OnlinePredictor]) -> None:
+    """Register ``factory`` under ``name`` (lower-cased; must be new)."""
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"predictor {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def make_predictor(name: str, n_slots: int, **kwargs) -> OnlinePredictor:
+    """Instantiate a registered predictor.
+
+    Keyword arguments are passed through to the factory; e.g.
+    ``make_predictor("wcma", 48, alpha=0.7, days=10, k=2)``.
+    """
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; available: {', '.join(available_predictors())}"
+        )
+    return factory(n_slots=n_slots, **kwargs)
+
+
+def available_predictors() -> tuple:
+    """Registered predictor names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _make_wcma(n_slots: int, alpha: float = 0.7, days: int = 10, k: int = 2):
+    return WCMAPredictor(n_slots, WCMAParams(alpha=alpha, days=days, k=k))
+
+
+def _make_proenergy(n_slots: int, **kwargs):
+    from repro.core.proenergy import ProEnergyPredictor
+
+    return ProEnergyPredictor(n_slots, **kwargs)
+
+
+def _make_ar(n_slots: int, **kwargs):
+    from repro.core.regression import ARPredictor
+
+    return ARPredictor(n_slots, **kwargs)
+
+
+def _make_trend(n_slots: int, **kwargs):
+    from repro.core.regression import SlotLinearTrendPredictor
+
+    return SlotLinearTrendPredictor(n_slots, **kwargs)
+
+
+register("wcma", _make_wcma)
+register("ewma", lambda n_slots, gamma=0.5: EWMAPredictor(n_slots, gamma=gamma))
+register("persistence", lambda n_slots: PersistencePredictor(n_slots))
+register("previous-day", lambda n_slots: PreviousDayPredictor(n_slots))
+register(
+    "moving-average",
+    lambda n_slots, days=10: MovingAveragePredictor(n_slots, days=days),
+)
+register("pro-energy", _make_proenergy)
+register("ar", _make_ar)
+register("linear-trend", _make_trend)

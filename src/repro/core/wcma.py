@@ -1,0 +1,368 @@
+"""WCMA -- the solar-energy predictor evaluated by the paper.
+
+Implements the algorithm of Recas et al. [5] exactly as specified by
+Eqs. 1-5 of the paper (see module docstring of
+:mod:`repro.metrics.errors` for the time-alignment convention):
+
+.. math::
+
+    \\hat e_{n+1} = \\alpha\\,\\tilde e(n)
+                  + (1-\\alpha)\\,\\mu_D(n+1)\\,\\Phi_K
+
+with :math:`\\mu_D(j)` the mean of the start-of-slot samples of slot *j*
+over the last *D* days (Eq. 2) and the conditioning factor
+
+.. math::
+
+    \\Phi_K = \\frac{\\sum_{k=1}^{K} \\theta(k)\\,\\eta(k)}
+                   {\\sum_{k=1}^{K} \\theta(k)},\\qquad
+    \\eta(k) = \\frac{\\tilde e(n-K+k)}{\\mu_D(n-K+k)},\\qquad
+    \\theta(k) = k/K.
+
+Two implementations are provided:
+
+* :class:`WCMAPredictor` -- the *online* form a sensor node would run:
+  O(D + K) state, one :meth:`observe` call per slot.  Used by the node
+  simulation and the fixed-point hardware model.
+* :class:`WCMABatch` -- a vectorized engine over a whole trace, used by
+  the parameter sweeps (Tables II, III, V; Fig. 7), where thousands of
+  (alpha, D, K) combinations must be scored.
+
+Night and dawn handling: where :math:`\\mu_D` is zero the ratio
+:math:`\\eta` is undefined, and where it is merely *tiny* (first slots
+after sunrise) the ratio explodes -- the sun's day-to-day elevation
+drift can grow a near-horizon slot's power by an order of magnitude
+over ``D`` days, so :math:`\\tilde e / \\mu_D` reaches 3-10 even on a
+perfectly clear morning and would poison :math:`\\Phi_K` for the first
+in-ROI predictions of the day.  Both implementations therefore
+substitute the neutral value 1.0 whenever :math:`\\mu_D` at the ratio's
+slot is below ``eta_floor_fraction`` (default 5 %) of the historical
+daily peak of :math:`\\mu_D`.  This guard only affects slots the paper's
+region-of-interest rule excludes from scoring anyway (Section III);
+without it no parameter setting reproduces the paper's single-digit
+MAPE values on sunny sites.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.base import DayHistory, OnlinePredictor
+from repro.solar.slots import SlotView
+
+__all__ = [
+    "WCMAParams",
+    "WCMAPredictor",
+    "WCMABatch",
+    "mu_matrix",
+    "MU_EPS",
+    "ETA_FLOOR_FRACTION",
+]
+
+#: Power (W/m^2) below which a past-days slot average counts as "night".
+MU_EPS = 1e-6
+
+#: Fraction of the historical daily peak of mu_D below which the eta
+#: ratio is replaced by the neutral 1.0 (dawn guard; see module docstring).
+ETA_FLOOR_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class WCMAParams:
+    """The three tunable parameters of the predictor (plus their ranges).
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the persistence term, ``0 <= alpha <= 1`` (Eq. 1).
+    days:
+        ``D`` -- past days in the history matrix, ``D >= 1`` (the paper
+        sweeps 2..20).
+    k:
+        ``K`` -- number of current-day slots feeding the conditioning
+        factor, ``K >= 1`` (the paper sweeps 1..6).
+    """
+
+    alpha: float
+    days: int
+    k: int
+
+    def __post_init__(self):
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.days < 1:
+            raise ValueError(f"days (D) must be >= 1, got {self.days}")
+        if self.k < 1:
+            raise ValueError(f"k (K) must be >= 1, got {self.k}")
+
+    @staticmethod
+    def theta(k_param: int) -> np.ndarray:
+        """Weight vector ``θ(k) = k/K`` for ``k = 1..K`` (Eq. 5)."""
+        return np.arange(1, k_param + 1, dtype=float) / k_param
+
+
+class WCMAPredictor(OnlinePredictor):
+    """Online WCMA predictor with O(D*N) memory, as a node would run it.
+
+    Parameters
+    ----------
+    n_slots:
+        ``N`` -- slots (samples/predictions) per day.
+    params:
+        The (alpha, D, K) parameter set.
+
+    Notes
+    -----
+    Until at least one full day of history exists the conditioned
+    average term is unavailable and the predictor degrades to pure
+    persistence (``ê = ẽ(n)``), which is also what the reference
+    implementation of [5] does during warm-up.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        params: WCMAParams,
+        eta_floor_fraction: float = ETA_FLOOR_FRACTION,
+    ):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if not 0.0 <= eta_floor_fraction < 1.0:
+            raise ValueError(
+                f"eta_floor_fraction must be in [0, 1), got {eta_floor_fraction}"
+            )
+        self.n_slots = n_slots
+        self.params = params
+        self.eta_floor_fraction = eta_floor_fraction
+        self._history = DayHistory(n_slots=n_slots, depth=params.days)
+        self._recent_eta = deque(maxlen=params.k)
+        self._theta = WCMAParams.theta(params.k)
+        self._theta_sum = float(self._theta.sum())
+        self._mu_row: np.ndarray = None  # mu_D per slot, fixed within a day
+        self._eta_floor = 0.0
+        self._mu_days_seen = 0
+
+    def reset(self) -> None:
+        self._history.reset()
+        self._recent_eta.clear()
+        self._mu_row = None
+        self._eta_floor = 0.0
+        self._mu_days_seen = 0
+
+    def _refresh_mu(self) -> None:
+        """Recompute the per-slot mu_D row after a day completes.
+
+        mu_D only depends on *complete* days, so it is constant within a
+        day; caching it makes ``observe`` O(K) instead of O(D).
+        """
+        completed = self._history.total_days_completed
+        if completed == self._mu_days_seen:
+            return
+        self._mu_days_seen = completed
+        available = self._history.n_complete_days
+        if available == 0:
+            self._mu_row = None
+            self._eta_floor = 0.0
+            return
+        rows = self._history._recent_rows(min(self.params.days, available))
+        self._mu_row = rows.mean(axis=0)
+        self._eta_floor = max(
+            self.eta_floor_fraction * float(self._mu_row.max()), MU_EPS
+        )
+
+    def observe(self, value: float) -> float:
+        if value < 0:
+            raise ValueError(f"power sample must be non-negative, got {value}")
+        self._refresh_mu()
+        slot = self._history.current_slot
+        have_history = self._mu_row is not None
+
+        # eta for the *current* slot, appended before computing phi so the
+        # most recent ratio carries the largest weight theta(K)=1.
+        if have_history:
+            mu_now = self._mu_row[slot]
+            eta_now = value / mu_now if mu_now >= self._eta_floor else 1.0
+        else:
+            eta_now = 1.0
+        self._recent_eta.append(eta_now)
+
+        if have_history:
+            mu_next = self._mu_row[(slot + 1) % self.n_slots]
+            phi = self._phi()
+            prediction = (
+                self.params.alpha * value
+                + (1.0 - self.params.alpha) * mu_next * phi
+            )
+        else:
+            prediction = value  # warm-up: pure persistence
+
+        self._history.push_slot(value)
+        return float(prediction)
+
+    def _phi(self) -> float:
+        """Conditioning factor over the buffered ratios (Eq. 3).
+
+        With fewer than K ratios buffered (start of trace) the missing,
+        oldest ratios are taken as the neutral 1.0.
+        """
+        k_param = self.params.k
+        n_have = len(self._recent_eta)
+        etas = np.ones(k_param, dtype=float)
+        if n_have:
+            etas[k_param - n_have :] = list(self._recent_eta)
+        return float(np.dot(self._theta, etas) / self._theta_sum)
+
+
+def mu_matrix(starts: np.ndarray, days: int) -> np.ndarray:
+    """``μ_D`` for every (day, slot): mean of the previous ``days`` rows.
+
+    Parameters
+    ----------
+    starts:
+        ``(n_days, N)`` start-of-slot sample matrix.
+    days:
+        History depth ``D``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_days, N)`` where row ``d`` holds
+        ``mean(starts[d-days:d], axis=0)``; rows ``d < days`` are NaN
+        (insufficient history).
+    """
+    starts = np.asarray(starts, dtype=float)
+    if starts.ndim != 2:
+        raise ValueError(f"starts must be 2-D, got shape {starts.shape}")
+    n_days = starts.shape[0]
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    out = np.full_like(starts, np.nan)
+    if n_days <= days:
+        return out
+    csum = np.vstack([np.zeros((1, starts.shape[1])), np.cumsum(starts, axis=0)])
+    out[days:] = (csum[days:-1] - csum[:-days - 1])[: n_days - days] / days
+    # the slice above yields rows for d = days..n_days-1
+    return out
+
+
+class WCMABatch:
+    """Vectorized WCMA evaluation over an entire trace.
+
+    Precomputes, per history depth ``D``, the flat ``μ_D`` and ``η``
+    series, and per ``(D, K)`` the *conditioned average term*
+    ``q[t] = μ_D(t+1) * Φ_K(t)``.  A prediction for any ``alpha`` is then
+    the one-liner ``alpha * s[:-1] + (1 - alpha) * q`` — this is what
+    makes the exhaustive grid searches of Tables II/III/V cheap.
+
+    All flat arrays are aligned on the boundary index
+    ``t = day * N + slot``; entries where history is incomplete are NaN.
+    """
+
+    def __init__(self, view: SlotView, eta_floor_fraction: float = ETA_FLOOR_FRACTION):
+        if not 0.0 <= eta_floor_fraction < 1.0:
+            raise ValueError(
+                f"eta_floor_fraction must be in [0, 1), got {eta_floor_fraction}"
+            )
+        self.view = view
+        self.n_slots = view.n_slots
+        self.eta_floor_fraction = eta_floor_fraction
+        self.starts_flat = view.flat_starts()
+        self.means_flat = view.flat_means()
+        self._mu_cache: Dict[int, np.ndarray] = {}
+        self._eta_cache: Dict[int, np.ndarray] = {}
+        self._q_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace, n_slots: int) -> "WCMABatch":
+        """Build directly from a :class:`~repro.solar.trace.SolarTrace`."""
+        return cls(SlotView.from_trace(trace, n_slots))
+
+    @property
+    def n_boundaries(self) -> int:
+        """Total number of slot boundaries in the trace."""
+        return self.starts_flat.size
+
+    # ------------------------------------------------------------------
+    def mu_flat(self, days: int) -> np.ndarray:
+        """Flat ``μ_D`` series (NaN during the first ``days`` days)."""
+        if days not in self._mu_cache:
+            self._mu_cache[days] = mu_matrix(self.view.starts, days).reshape(-1)
+        return self._mu_cache[days]
+
+    def eta_flat(self, days: int) -> np.ndarray:
+        """Flat ``η`` series: ``s/μ_D`` with the night/dawn guard.
+
+        The guard threshold is per day: ``eta_floor_fraction`` times that
+        day's peak ``μ_D`` value (mirroring the online predictor, where
+        the node knows its own history matrix).
+        """
+        if days not in self._eta_cache:
+            mu2d = mu_matrix(self.view.starts, days)
+            finite2d = np.isfinite(mu2d)
+            filled = np.where(finite2d, mu2d, -np.inf)
+            day_peak = filled.max(axis=1, keepdims=True)  # -inf on warm-up rows
+            floor2d = np.maximum(self.eta_floor_fraction * day_peak, MU_EPS)
+            mu = mu2d.reshape(-1)
+            floor = np.broadcast_to(floor2d, mu2d.shape).reshape(-1)
+            s = self.starts_flat
+            eta = np.full_like(s, np.nan)
+            finite = np.isfinite(mu)
+            bright = finite & (mu >= floor)
+            eta[bright] = s[bright] / mu[bright]
+            eta[finite & ~bright] = 1.0
+            self._eta_cache[days] = eta
+        return self._eta_cache[days]
+
+    def phi_flat(self, days: int, k_param: int) -> np.ndarray:
+        """Flat ``Φ_K`` series (Eq. 3); NaN where the lookback is short."""
+        if k_param < 1:
+            raise ValueError("K must be >= 1")
+        eta = self.eta_flat(days)
+        total = eta.size
+        theta = WCMAParams.theta(k_param)
+        acc = np.zeros(total, dtype=float)
+        for k in range(1, k_param + 1):
+            shift = k_param - k  # eta index t - shift contributes theta[k-1]
+            if shift == 0:
+                acc += theta[k - 1] * eta
+            else:
+                acc[shift:] += theta[k - 1] * eta[:-shift]
+        phi = acc / theta.sum()
+        phi[: k_param - 1] = np.nan  # incomplete lookback at trace start
+        return phi
+
+    def conditioned_term(self, days: int, k_param: int) -> np.ndarray:
+        """``q[t] = μ_D(t+1) · Φ_K(t)``, length ``n_boundaries - 1``."""
+        key = (days, k_param)
+        if key not in self._q_cache:
+            mu = self.mu_flat(days)
+            phi = self.phi_flat(days, k_param)
+            self._q_cache[key] = mu[1:] * phi[:-1]
+        return self._q_cache[key]
+
+    def predictions(self, params: WCMAParams) -> np.ndarray:
+        """Predictions ``p[t]`` for ``t = 0 .. n_boundaries-2``.
+
+        ``p[t]`` is the prediction made at boundary ``t`` for the slot
+        beginning there (Eq. 1).  NaN where history is incomplete.
+        """
+        q = self.conditioned_term(params.days, params.k)
+        return params.alpha * self.starts_flat[:-1] + (1.0 - params.alpha) * q
+
+    # ------------------------------------------------------------------
+    # References for error evaluation, aligned with ``predictions``.
+    # ------------------------------------------------------------------
+    @property
+    def reference_mean(self) -> np.ndarray:
+        """Slot-mean reference for Eq. 7 (``m[t]``)."""
+        return self.means_flat[:-1]
+
+    @property
+    def reference_next_start(self) -> np.ndarray:
+        """Next-boundary-sample reference for Eq. 6 (``s[t+1]``)."""
+        return self.starts_flat[1:]

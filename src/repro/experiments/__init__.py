@@ -1,0 +1,49 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+========================  ====================================================
+module                    reproduces
+========================  ====================================================
+:mod:`~repro.experiments.table1`  Table I   -- data-set inventory
+:mod:`~repro.experiments.table2`  Table II  -- MAPE' vs MAPE optimisation, N=48
+:mod:`~repro.experiments.table3`  Table III -- optimised parameters across N
+:mod:`~repro.experiments.table4`  Table IV  -- energy of sampling + prediction
+:mod:`~repro.experiments.table5`  Table V   -- clairvoyant dynamic parameters
+:mod:`~repro.experiments.fig2`    Fig. 2    -- six days of solar energy
+:mod:`~repro.experiments.fig6`    Fig. 6    -- overhead %% vs N
+:mod:`~repro.experiments.fig7`    Fig. 7    -- MAPE vs D per site
+========================  ====================================================
+
+Every module exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``rows`` hold
+the regenerated numbers and whose ``render()`` prints the paper-style
+table.  :mod:`repro.experiments.runner` drives them all and emits the
+paper-vs-measured comparison recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, batch_for, format_table
+from repro.experiments import (
+    fig2,
+    fig6,
+    fig7,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ExperimentResult",
+    "batch_for",
+    "format_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig2",
+    "fig6",
+    "fig7",
+    "run_all",
+]

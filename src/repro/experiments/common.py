@@ -1,0 +1,148 @@
+"""Shared infrastructure for the experiment modules.
+
+* :class:`ExperimentResult` -- rows + metadata + text rendering.
+* :func:`batch_for` -- memoised :class:`~repro.core.wcma.WCMABatch`
+  per (site, days, N): the grid searches of Tables II/III/V and Fig. 7
+  all reuse the same conditioned-term caches.
+* :func:`format_table` -- minimal fixed-width text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.wcma import WCMABatch
+from repro.solar.datasets import build_dataset
+from repro.solar.sites import SITE_ORDER
+
+__all__ = [
+    "DEFAULT_N_DAYS",
+    "PAPER_N_VALUES",
+    "ExperimentResult",
+    "batch_for",
+    "clear_batch_cache",
+    "format_table",
+    "sites_for",
+    "supported_n_for_site",
+]
+
+#: Evaluation length used by the paper (days 21..365 scored).
+DEFAULT_N_DAYS = 365
+
+#: Sampling rates evaluated in Table III.
+PAPER_N_VALUES = (288, 96, 72, 48, 24)
+
+_BATCH_CACHE: Dict[Tuple[str, int, int], WCMABatch] = {}
+
+
+def batch_for(site: str, n_days: int, n_slots: int) -> WCMABatch:
+    """Memoised batch engine for one (site, trace length, N)."""
+    key = (site.upper(), n_days, n_slots)
+    if key not in _BATCH_CACHE:
+        trace = build_dataset(site, n_days=n_days)
+        _BATCH_CACHE[key] = WCMABatch.from_trace(trace, n_slots)
+    return _BATCH_CACHE[key]
+
+
+def clear_batch_cache() -> None:
+    """Drop memoised batches (tests)."""
+    _BATCH_CACHE.clear()
+
+
+def sites_for(sites: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Normalise a site selection (None -> the paper's six, in order)."""
+    if sites is None:
+        return SITE_ORDER
+    resolved = tuple(s.upper() for s in sites)
+    unknown = [s for s in resolved if s not in SITE_ORDER]
+    if unknown:
+        raise ValueError(f"unknown sites: {unknown}; available: {SITE_ORDER}")
+    return resolved
+
+
+def supported_n_for_site(site: str, n_values: Sequence[int]) -> Tuple[int, ...]:
+    """Filter N values to those the site's resolution supports.
+
+    The paper's footnote: N=288 "is not defined" for the 5-minute sites
+    in the sense that a slot then contains a single sample -- it is
+    still evaluable (and trivially exact at alpha=1); what cannot be
+    evaluated is N exceeding the native samples per day.  We keep every
+    N that divides the native rate.
+    """
+    from repro.solar.sites import get_site
+
+    spd = get_site(site).samples_per_day
+    return tuple(n for n in n_values if spd % n == 0 and n <= spd)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], indent: str = ""
+) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    cells = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(columns)]
+    lines = []
+    for i, row in enumerate(cells):
+        line = indent + "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append(indent + "  ".join("-" * widths[c] for c in range(columns)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Regenerated numbers for one table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier, e.g. ``"table3"``.
+    title:
+        Human-readable description.
+    headers:
+        Column names of ``rows``.
+    rows:
+        List of dicts keyed by ``headers`` entries.
+    notes:
+        Free-form remarks (conventions, substitutions).
+    """
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[dict]
+    notes: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Paper-style fixed-width text rendering."""
+        table = format_table(
+            self.headers,
+            [[_fmt(row.get(h)) for h in self.headers] for row in self.rows],
+        )
+        parts = [f"{self.experiment.upper()}: {self.title}", table]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.headers:
+            raise KeyError(f"unknown column {name!r}; have {self.headers}")
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

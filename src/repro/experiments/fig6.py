@@ -1,0 +1,44 @@
+"""Fig. 6 -- prediction-activity overhead at different N.
+
+Sampling + prediction energy per day as a percentage of the deep-sleep
+energy per day, for each N in {288, 96, 72, 48, 24}.  Deterministic
+arithmetic over the Table IV anchors; must match the paper's bars
+(4.85 %, 1.62 %, 1.21 %, 0.81 %, 0.40 %) exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import PAPER_N_VALUES, ExperimentResult
+from repro.hardware.energy import daily_energy, overhead_fraction
+from repro.hardware.mcu import MSP430F1611
+
+__all__ = ["run"]
+
+HEADERS = ["n", "activity_uj_per_day", "sleep_mj_per_day", "overhead_percent"]
+
+
+def run(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    sites: Optional[object] = None,  # accepted for runner uniformity
+) -> ExperimentResult:
+    """Regenerate the Fig. 6 series."""
+    rows = []
+    for n_slots in n_values:
+        rows.append(
+            {
+                "n": n_slots,
+                "activity_uj_per_day": daily_energy(n_slots) * 1e6,
+                "sleep_mj_per_day": MSP430F1611.sleep_energy_per_day() * 1e3,
+                "overhead_percent": overhead_fraction(n_slots) * 100.0,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig6",
+        title="Prediction algorithm overhead at different N",
+        headers=HEADERS,
+        rows=rows,
+        notes="Overhead = (sampling + typical prediction) / sleep energy.",
+        meta={"n_values": tuple(n_values)},
+    )

@@ -1,0 +1,113 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+Every value below is copied from the paper (DATE 2010).  The runner
+places these next to the regenerated numbers in EXPERIMENTS.md; shape
+tests in ``tests/experiments/`` assert the qualitative agreements
+listed in DESIGN.md.  MAPE values are fractions (0.158 = 15.80 %).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "TABLE5",
+    "FIG6_OVERHEAD",
+]
+
+#: Table I -- data sets used.
+TABLE1 = {
+    "SPMD": {"location": "CO", "observations": 105_120, "days": 365, "resolution_minutes": 5},
+    "ECSU": {"location": "NC", "observations": 105_120, "days": 365, "resolution_minutes": 5},
+    "ORNL": {"location": "TN", "observations": 525_600, "days": 365, "resolution_minutes": 1},
+    "HSU": {"location": "CA", "observations": 525_600, "days": 365, "resolution_minutes": 1},
+    "NPCS": {"location": "NV", "observations": 525_600, "days": 365, "resolution_minutes": 1},
+    "PFCI": {"location": "AZ", "observations": 525_600, "days": 365, "resolution_minutes": 1},
+}
+
+#: Table II -- optimisation under MAPE' vs MAPE at N=48.
+#: site -> {"prime": (alpha, D, K, mape'), "mape": (alpha, D, K, mape)}
+TABLE2 = {
+    "SPMD": {"prime": (0.2, 19, 1, 0.4207), "mape": (0.7, 20, 1, 0.1580)},
+    "ECSU": {"prime": (0.2, 20, 2, 0.3289), "mape": (0.7, 20, 3, 0.1345)},
+    "ORNL": {"prime": (0.4, 20, 3, 0.3661), "mape": (0.7, 20, 3, 0.1722)},
+    "HSU": {"prime": (0.4, 20, 3, 0.2690), "mape": (0.7, 18, 3, 0.1401)},
+    "NPCS": {"prime": (0.0, 15, 1, 0.1717), "mape": (0.6, 20, 2, 0.0806)},
+    "PFCI": {"prime": (0.2, 20, 3, 0.1393), "mape": (0.6, 20, 3, 0.0659)},
+}
+
+#: Table III -- (alpha, D, K, MAPE, MAPE@K=2) per (site, N).
+#: D/K of None encode the paper's "n/a" entries; MAPE of 0.0 the "0†".
+TABLE3 = {
+    ("SPMD", 288): (1.0, None, None, 0.0, 0.0),
+    ("SPMD", 96): (0.8, 20, 1, 0.1027, 0.1039),
+    ("SPMD", 72): (0.8, 20, 1, 0.1236, 0.1247),
+    ("SPMD", 48): (0.7, 20, 1, 0.1580, 0.1610),
+    ("SPMD", 24): (0.6, 12, 2, 0.2035, None),
+    ("ECSU", 288): (1.0, None, None, 0.0, 0.0),
+    ("ECSU", 96): (0.8, 20, 2, 0.0939, None),
+    ("ECSU", 72): (0.8, 20, 3, 0.1111, 0.1119),
+    ("ECSU", 48): (0.7, 20, 3, 0.1345, 0.1351),
+    ("ECSU", 24): (0.6, 19, 1, 0.1824, 0.1851),
+    ("ORNL", 288): (1.0, None, None, 0.0831, None),
+    ("ORNL", 96): (0.8, 20, 3, 0.1442, 0.1447),
+    ("ORNL", 72): (0.8, 20, 4, 0.1572, 0.1588),
+    ("ORNL", 48): (0.7, 20, 3, 0.1722, 0.1743),
+    ("ORNL", 24): (0.6, 12, 2, 0.2143, None),
+    ("HSU", 288): (0.9, 20, 1, 0.0600, 0.0601),
+    ("HSU", 96): (0.8, 20, 4, 0.1080, 0.1088),
+    ("HSU", 72): (0.8, 20, 5, 0.1211, 0.1230),
+    ("HSU", 48): (0.7, 18, 3, 0.1401, 0.1411),
+    ("HSU", 24): (0.7, 12, 2, 0.1919, None),
+    ("NPCS", 288): (0.9, 20, 1, 0.0391, 0.0392),
+    ("NPCS", 96): (0.7, 20, 3, 0.0678, 0.0680),
+    ("NPCS", 72): (0.6, 20, 2, 0.0740, None),
+    ("NPCS", 48): (0.6, 20, 2, 0.0806, None),
+    ("NPCS", 24): (0.5, 20, 1, 0.0888, 0.0911),
+    ("PFCI", 288): (0.9, 20, 4, 0.0345, 0.0346),
+    ("PFCI", 96): (0.7, 20, 5, 0.0564, 0.0577),
+    ("PFCI", 72): (0.6, 20, 4, 0.0592, 0.0608),
+    ("PFCI", 48): (0.6, 20, 3, 0.0659, 0.0668),
+    ("PFCI", 24): (0.5, 10, 2, 0.0897, None),
+}
+
+#: Table IV -- measured energies.
+TABLE4 = {
+    "adc_event_uj": 55.0,
+    "adc_plus_prediction_k1_a07_uj": 58.6,
+    "adc_plus_prediction_k7_a07_uj": 63.4,
+    "adc_plus_prediction_k7_a00_uj": 61.5,
+    "sleep_per_day_mj": 356.0,
+    "adc_48_per_day_uj": 2640.0,
+    "adc_plus_prediction_48_per_day_uj": 2880.0,
+}
+
+#: Table V -- dynamic parameter selection (four sites in the paper).
+#: (site, N) -> (static, both, k_only_alpha, k_only, alpha_only_k, alpha_only)
+TABLE5 = {
+    ("SPMD", 288): (0.0, 0.0, 1.0, 0.0, None, 0.0),
+    ("SPMD", 96): (0.1027, 0.0425, 0.4, 0.0731, 6, 0.0548),
+    ("SPMD", 72): (0.1236, 0.0513, 0.3, 0.0854, 6, 0.0647),
+    ("SPMD", 48): (0.1580, 0.0643, 0.3, 0.1063, 6, 0.0821),
+    ("SPMD", 24): (0.2035, 0.0695, 0.3, 0.1308, 3, 0.1121),
+    ("ECSU", 288): (0.0, 0.0, 1.0, 0.0, None, 0.0),
+    ("ECSU", 96): (0.0939, 0.0376, 0.3, 0.0632, 6, 0.0485),
+    ("ECSU", 72): (0.1111, 0.0444, 0.3, 0.0740, 6, 0.0568),
+    ("ECSU", 48): (0.1345, 0.0537, 0.3, 0.0892, 6, 0.0693),
+    ("ECSU", 24): (0.1824, 0.0616, 0.3, 0.1125, 3, 0.1037),
+    ("ORNL", 288): (0.0831, 0.0385, 0.2, 0.0607, 6, 0.0468),
+    ("ORNL", 96): (0.1442, 0.0640, 0.0, 0.0935, 6, 0.0769),
+    ("ORNL", 72): (0.1572, 0.0672, 0.0, 0.1009, 6, 0.0810),
+    ("ORNL", 48): (0.1722, 0.0738, 0.1, 0.1134, 6, 0.0926),
+    ("ORNL", 24): (0.2143, 0.0730, 0.2, 0.1294, 3, 0.1203),
+    ("HSU", 288): (0.0600, 0.0275, 0.3, 0.0446, 6, 0.0343),
+    ("HSU", 96): (0.1080, 0.0460, 0.1, 0.0719, 6, 0.0576),
+    ("HSU", 72): (0.1211, 0.0515, 0.2, 0.0814, 6, 0.0649),
+    ("HSU", 48): (0.1401, 0.0552, 0.2, 0.0932, 6, 0.0736),
+    ("HSU", 24): (0.1919, 0.0592, 0.3, 0.1121, 3, 0.1011),
+}
+
+#: Fig. 6 -- overhead (fraction of sleep energy) per N.
+FIG6_OVERHEAD = {288: 0.0485, 96: 0.0162, 72: 0.0121, 48: 0.0081, 24: 0.0040}

@@ -1,0 +1,86 @@
+"""Run every experiment and render the paper-vs-measured comparison.
+
+``run_all`` executes all eight reproductions and returns the results
+keyed by experiment id; ``render_report`` turns them into the text that
+EXPERIMENTS.md embeds.  The command-line front-end lives in
+:mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5
+from repro.experiments.common import DEFAULT_N_DAYS, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "render_report"]
+
+#: Experiment ids in paper order.
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig2",
+    "fig6",
+    "fig7",
+)
+
+_TRACE_DRIVEN = {"table1", "table2", "table3", "table5", "fig2", "fig7"}
+
+
+def run_all(
+    n_days: int = DEFAULT_N_DAYS,
+    sites: Optional[Sequence[str]] = None,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run the selected experiments (all by default).
+
+    Parameters
+    ----------
+    n_days:
+        Trace length; 365 reproduces the paper, smaller is faster.
+    sites:
+        Site subset (None = the paper's six; table5 intersects with its
+        own four-site list).
+    only:
+        Experiment ids to run (None = all).
+    """
+    selected = tuple(only) if only is not None else EXPERIMENTS
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}; available: {EXPERIMENTS}")
+
+    modules = {
+        "table1": table1,
+        "table2": table2,
+        "table3": table3,
+        "table4": table4,
+        "table5": table5,
+        "fig2": fig2,
+        "fig6": fig6,
+        "fig7": fig7,
+    }
+    results: Dict[str, ExperimentResult] = {}
+    for name in selected:
+        module = modules[name]
+        if name in _TRACE_DRIVEN:
+            if name == "table5" and sites is None:
+                results[name] = module.run(n_days=n_days)
+            elif name == "fig2":
+                results[name] = module.run(n_days=n_days)
+            else:
+                results[name] = module.run(n_days=n_days, sites=sites)
+        else:
+            results[name] = module.run()
+    return results
+
+
+def render_report(results: Dict[str, ExperimentResult]) -> str:
+    """Concatenated text rendering of every result, in paper order."""
+    parts = []
+    for name in EXPERIMENTS:
+        if name in results:
+            parts.append(results[name].render())
+    return "\n\n".join(parts)

@@ -1,0 +1,52 @@
+"""MSP430 hardware substrate (Section IV-A, Table IV, Fig. 5, Fig. 6).
+
+The paper measures the prediction algorithm's energy cost on an
+MSP430F1611 at 3 V / 5 MHz.  Without the physical board, this package
+models the same accounting:
+
+* :mod:`repro.hardware.mcu` -- electrical model of the microcontroller
+  (supply, clock, per-state currents).
+* :mod:`repro.hardware.adc` -- the sampling sequence of Fig. 5 (wake,
+  Vref settle, conversion) and its energy.
+* :mod:`repro.hardware.cycles` -- cycle-count model of the prediction
+  arithmetic (software floating point on MSP430) and the history-matrix
+  memory requirement.
+* :mod:`repro.hardware.energy` -- per-event and per-day energy totals,
+  reproducing Table IV's rows and the overhead percentages of Fig. 6.
+* :mod:`repro.hardware.fixedpoint` -- a Q15 fixed-point implementation
+  of the WCMA predictor, the arithmetic a production node would run.
+
+Calibration: the per-event energies are anchored to the paper's
+measurements (A/D 55 uJ; prediction 3.6-8.4 uJ depending on K and
+alpha; sleep 356 mJ/day) so the derived per-day numbers and overhead
+ratios reproduce Table IV / Fig. 6 exactly; the cycle model then breaks
+those measured costs down into per-operation contributions.
+"""
+
+from repro.hardware.mcu import MCUPowerModel, MSP430F1611
+from repro.hardware.adc import SamplingSequence
+from repro.hardware.cycles import CycleCosts, prediction_cycles, history_memory_bytes
+from repro.hardware.energy import (
+    EnergyBudget,
+    adc_energy_per_sample,
+    prediction_energy,
+    daily_energy,
+    overhead_fraction,
+)
+from repro.hardware.fixedpoint import Q15, FixedPointWCMA
+
+__all__ = [
+    "MCUPowerModel",
+    "MSP430F1611",
+    "SamplingSequence",
+    "CycleCosts",
+    "prediction_cycles",
+    "history_memory_bytes",
+    "EnergyBudget",
+    "adc_energy_per_sample",
+    "prediction_energy",
+    "daily_energy",
+    "overhead_fraction",
+    "Q15",
+    "FixedPointWCMA",
+]

@@ -1,0 +1,79 @@
+"""The power-sampling sequence of Fig. 5 and its energy.
+
+The paper describes the per-slot wake-up sequence:
+
+1. wake on timer; enable the internal voltage reference and sleep for
+   the 45 ms settling time (Vref current flows the whole time);
+2. launch the A/D conversion (a few microseconds) and sleep until the
+   end-of-conversion interrupt;
+3. disable Vref, run the prediction, re-enter deep sleep.
+
+Step 2 is microseconds, step 1 is 45 *milliseconds*: the voltage
+reference dominates, which is why the paper measures the whole A/D
+event at 55 uJ while the prediction arithmetic adds only 4-9 uJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.mcu import MCUPowerModel, MSP430F1611
+
+__all__ = ["SamplingSequence"]
+
+
+@dataclass(frozen=True)
+class SamplingSequence:
+    """Energy model of one wake/sample event (Fig. 5).
+
+    Attributes
+    ----------
+    mcu:
+        The microcontroller electrical model.
+    vref_settle_seconds:
+        Reference settling time (paper: 45 ms).
+    conversion_seconds:
+        ADC12 conversion time ("a few microseconds"; 13 ADC12CLK cycles
+        plus sample time -- 10 us is representative).
+    wakeup_overhead_cycles:
+        CPU cycles spent on the interrupt handlers and state juggling
+        around the conversion.
+    """
+
+    mcu: MCUPowerModel = MSP430F1611
+    vref_settle_seconds: float = 45e-3
+    conversion_seconds: float = 10e-6
+    wakeup_overhead_cycles: int = 400
+
+    def __post_init__(self):
+        if self.vref_settle_seconds < 0 or self.conversion_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        if self.wakeup_overhead_cycles < 0:
+            raise ValueError("wakeup_overhead_cycles must be non-negative")
+
+    def vref_energy(self) -> float:
+        """Energy (J) of the reference during settling + conversion."""
+        duration = self.vref_settle_seconds + self.conversion_seconds
+        return self.mcu.supply_volts * self.mcu.vref_current_amps * duration
+
+    def conversion_energy(self) -> float:
+        """Energy (J) of the ADC core during conversion."""
+        return (
+            self.mcu.supply_volts
+            * self.mcu.adc_current_amps
+            * self.conversion_seconds
+        )
+
+    def cpu_overhead_energy(self) -> float:
+        """Energy (J) of the interrupt/bookkeeping CPU activity."""
+        return self.mcu.active_energy(self.wakeup_overhead_cycles)
+
+    def total_energy(self) -> float:
+        """Energy (J) of one complete sampling event.
+
+        With the default (datasheet-typical) constants this evaluates to
+        ~54.3 uJ; the paper measures 55 uJ.  Table IV accounting uses
+        the measured value (see :mod:`repro.hardware.energy`); this
+        breakdown exists to show *where* the 55 uJ goes.
+        """
+        return self.vref_energy() + self.conversion_energy() + self.cpu_overhead_energy()

@@ -1,0 +1,139 @@
+"""Cycle-count model of the prediction arithmetic.
+
+Table IV of the paper gives *measured* per-event energies on the
+MSP430F1611 at 3 V / 5 MHz:
+
+===================================  ========
+event                                energy
+===================================  ========
+A/D conversion                        55.0 uJ
+A/D + prediction (K=1, alpha=0.7)     58.6 uJ
+A/D + prediction (K=7, alpha=0.7)     63.4 uJ
+A/D + prediction (K=7, alpha=0.0)     61.5 uJ
+===================================  ========
+
+Subtracting the A/D cost, the prediction alone is 3.6 / 8.4 / 6.5 uJ.
+Those three points pin down a linear cycle model (at the MCU's
+1.5 nJ/cycle):
+
+* ``PER_K_CYCLES`` -- each extra conditioning slot costs one ratio
+  multiply-accumulate pass: ``(8.4 - 3.6) uJ / 6 / 1.5 nJ = 533``
+  cycles;
+* ``PREDICTION_BASE_CYCLES`` -- fixed work (history ring update, the
+  ``μ_D`` and ``η`` divides, Eq. 1 combination, control flow):
+  ``3.6 uJ / 1.5 nJ - 533 = 1867`` cycles;
+* ``ALPHA_ZERO_SAVING_CYCLES`` -- with ``alpha == 0`` the
+  implementation compiles out the persistence product and its operand
+  conditioning: ``(8.4 - 6.5) uJ / 1.5 nJ = 1267`` cycles.
+
+:class:`CycleCosts` additionally provides per-primitive costs used to
+compare the software-float implementation with the Q15 fixed-point one
+(:mod:`repro.hardware.fixedpoint`): fixed point swaps ~400-cycle float
+library calls for native adds and hardware-multiplier products, cutting
+the arithmetic cycles by roughly an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CycleCosts",
+    "FLOAT_COSTS",
+    "Q15_COSTS",
+    "PREDICTION_BASE_CYCLES",
+    "PER_K_CYCLES",
+    "ALPHA_ZERO_SAVING_CYCLES",
+    "prediction_cycles",
+    "arithmetic_cycles",
+    "history_memory_bytes",
+]
+
+#: Fixed per-prediction cycles (calibrated to Table IV; see module docstring).
+PREDICTION_BASE_CYCLES = 1867
+#: Extra cycles per conditioning slot K.
+PER_K_CYCLES = 533
+#: Cycles saved when alpha == 0 removes the persistence code path.
+ALPHA_ZERO_SAVING_CYCLES = 1267
+
+
+@dataclass(frozen=True)
+class CycleCosts:
+    """Cycle cost of each arithmetic primitive on the MSP430."""
+
+    add: int
+    mul: int
+    div: int
+    load_store: int
+
+    def __post_init__(self):
+        for name in ("add", "mul", "div", "load_store"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: Software single-precision float (representative MSP430 libm costs).
+FLOAT_COSTS = CycleCosts(add=184, mul=395, div=405, load_store=6)
+
+#: Q15 fixed point: native adds, hardware 16x16 multiplier, short
+#: software divide.
+Q15_COSTS = CycleCosts(add=4, mul=14, div=140, load_store=4)
+
+
+def prediction_cycles(k_param: int, alpha_zero: bool = False) -> int:
+    """Measured-anchored CPU cycles of one WCMA prediction.
+
+    Parameters
+    ----------
+    k_param:
+        Conditioning window ``K``.
+    alpha_zero:
+        True when ``alpha == 0`` and the persistence code path is
+        compiled out (Table IV's K=7, alpha=0.0 row).
+    """
+    if k_param < 1:
+        raise ValueError("K must be >= 1")
+    cycles = PREDICTION_BASE_CYCLES + PER_K_CYCLES * k_param
+    if alpha_zero:
+        cycles -= ALPHA_ZERO_SAVING_CYCLES
+    return cycles
+
+
+def arithmetic_cycles(k_param: int, costs: CycleCosts) -> int:
+    """Pure-arithmetic cycles of one prediction under a cost model.
+
+    Counts only the algorithm's arithmetic (no control flow), for
+    comparing implementations: history running-sum update (1 sub +
+    1 add), the ``μ_D``, ``η`` and ``Φ`` divides, K ratio
+    multiply-accumulate passes, and the Eq. 1 combination.
+    """
+    if k_param < 1:
+        raise ValueError("K must be >= 1")
+    cycles = 0
+    cycles += 2 * costs.add + 6 * costs.load_store  # ring + running sum
+    cycles += 3 * costs.div  # mu, eta, phi normalisation
+    cycles += k_param * (costs.mul + costs.add + 2 * costs.load_store)
+    cycles += 2 * costs.mul + 2 * costs.add  # Eq. 1
+    return cycles
+
+
+def history_memory_bytes(
+    days: int, n_slots: int, bytes_per_sample: int = 2, k_param: int = 1
+) -> int:
+    """RAM required by the predictor state.
+
+    ``D x N`` history ring plus per-slot 32-bit running sums plus the
+    K-deep ratio buffer.  The MSP430F1611 has 10 KiB of RAM; the
+    paper's guideline D~=10 exists partly to bound this (D=20, N=96 at
+    2 bytes/sample is already 3.8 KiB of history alone).
+    """
+    if days < 1 or n_slots < 1:
+        raise ValueError("days and n_slots must be >= 1")
+    if bytes_per_sample < 1:
+        raise ValueError("bytes_per_sample must be >= 1")
+    if k_param < 1:
+        raise ValueError("k_param must be >= 1")
+    history = days * n_slots * bytes_per_sample
+    running_sums = n_slots * 4
+    ratio_buffer = k_param * bytes_per_sample
+    return history + running_sums + ratio_buffer

@@ -1,0 +1,131 @@
+"""Battery-lifetime and energy-budget planning (extension of Table IV).
+
+Table IV stops at per-day energies; a deployment engineer's next
+question is *what does that mean in battery life or panel size*.  This
+module answers it with the same calibrated constants:
+
+* :func:`node_daily_energy` -- the full node's energy per day
+  (sleep + sampling + prediction + application duty cycle);
+* :func:`battery_lifetime_days` -- primary-cell lifetime at that rate;
+* :func:`required_panel_area` -- the PV area that makes the node
+  energy-neutral at a given site's average insolation;
+* :func:`sampling_rate_for_budget` -- the largest paper-grid N whose
+  management overhead stays within a fraction of harvested income.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.hardware.energy import daily_energy
+from repro.hardware.mcu import MCUPowerModel, MSP430F1611, SECONDS_PER_DAY
+from repro.management.consumer import DutyCycledLoad
+from repro.management.harvester import PVHarvester
+
+__all__ = [
+    "node_daily_energy",
+    "battery_lifetime_days",
+    "required_panel_area",
+    "sampling_rate_for_budget",
+]
+
+
+def node_daily_energy(
+    n_slots: int,
+    duty: float,
+    load: DutyCycledLoad = None,
+    mcu: MCUPowerModel = MSP430F1611,
+    k_param: Optional[int] = None,
+    alpha: Optional[float] = None,
+) -> float:
+    """Whole-node energy per day (J): management + application.
+
+    Management is the paper's sleep + sampling + prediction accounting;
+    the application is a duty-cycled load on top.
+    """
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError(f"duty must be in [0, 1], got {duty}")
+    load = load if load is not None else DutyCycledLoad()
+    management = mcu.sleep_energy_per_day() + daily_energy(
+        n_slots, k_param, alpha, mcu=mcu
+    )
+    application = load.energy(duty, SECONDS_PER_DAY)
+    return management + application
+
+
+def battery_lifetime_days(
+    battery_joules: float,
+    n_slots: int,
+    duty: float,
+    load: DutyCycledLoad = None,
+    mcu: MCUPowerModel = MSP430F1611,
+) -> float:
+    """Days a primary battery sustains the node with no harvesting.
+
+    A pair of AA lithium cells holds ~ 2 x 9 Wh ~ 64.8 kJ.
+    """
+    if battery_joules <= 0:
+        raise ValueError("battery_joules must be positive")
+    per_day = node_daily_energy(n_slots, duty, load=load, mcu=mcu)
+    return battery_joules / per_day
+
+
+def required_panel_area(
+    n_slots: int,
+    duty: float,
+    mean_daily_insolation_wh_m2: float,
+    harvester: PVHarvester = None,
+    load: DutyCycledLoad = None,
+    mcu: MCUPowerModel = MSP430F1611,
+    margin: float = 1.5,
+) -> float:
+    """Panel area (m^2) for energy-neutral operation with ``margin``.
+
+    ``mean_daily_insolation_wh_m2`` is the site's average daily solar
+    energy per unit area (Wh/m^2/day; use
+    ``trace.daily_energy().mean()``).
+    """
+    if mean_daily_insolation_wh_m2 <= 0:
+        raise ValueError("insolation must be positive")
+    if margin < 1.0:
+        raise ValueError("margin must be >= 1")
+    harvester = harvester if harvester is not None else PVHarvester()
+    need_joules = margin * node_daily_energy(n_slots, duty, load=load, mcu=mcu)
+    efficiency = harvester.panel_efficiency * harvester.conditioning_efficiency
+    income_per_m2 = mean_daily_insolation_wh_m2 * 3600.0 * efficiency
+    return need_joules / income_per_m2
+
+
+def sampling_rate_for_budget(
+    harvest_joules_per_day: float,
+    overhead_budget: float = 0.01,
+    candidates: Iterable[int] = (288, 96, 72, 48, 24),
+    mcu: MCUPowerModel = MSP430F1611,
+) -> Optional[int]:
+    """Largest paper-grid N whose management energy fits the budget.
+
+    Parameters
+    ----------
+    harvest_joules_per_day:
+        Expected harvested energy per day.
+    overhead_budget:
+        Maximum fraction of the harvest the sampling + prediction
+        activity may consume.
+    candidates:
+        N values considered, best (largest) first.
+
+    Returns
+    -------
+    int or None
+        The chosen N, or None if even the smallest candidate exceeds
+        the budget.
+    """
+    if harvest_joules_per_day <= 0:
+        raise ValueError("harvest_joules_per_day must be positive")
+    if not 0.0 < overhead_budget <= 1.0:
+        raise ValueError("overhead_budget must be in (0, 1]")
+    for n_slots in sorted(candidates, reverse=True):
+        activity = daily_energy(n_slots, mcu=mcu)
+        if activity <= overhead_budget * harvest_joules_per_day:
+            return n_slots
+    return None

@@ -1,0 +1,49 @@
+"""Harvested-energy-management substrate (Fig. 1 of the paper).
+
+The paper motivates prediction through the energy-management loop of
+Fig. 1: an energy harvester charges a store, an *intelligent
+controller* adapts the embedded application's consumption to the
+*predicted* incoming energy.  This package builds that loop so the
+effect of prediction accuracy on system-level behaviour can be
+simulated end to end:
+
+* :mod:`repro.management.harvester` -- photovoltaic panel + power
+  conditioning: irradiance (W/m^2) to electrical power (W).
+* :mod:`repro.management.storage` -- battery / supercapacitor models
+  with round-trip efficiency and leakage.
+* :mod:`repro.management.consumer` -- a duty-cycled sensing load.
+* :mod:`repro.management.controller` -- duty-cycle policies: Kansal
+  et al.'s energy-neutral adaptation [2] and a Noh-style
+  minimum-variance allocation [4], plus an oracle and a fixed-duty
+  baseline.
+* :mod:`repro.management.node` -- the slot-by-slot node simulation
+  tying everything to a solar trace and a predictor.
+"""
+
+from repro.management.harvester import PVHarvester
+from repro.management.storage import Battery, Supercapacitor
+from repro.management.consumer import DutyCycledLoad
+from repro.management.controller import (
+    Controller,
+    FixedDutyController,
+    KansalController,
+    MinimumVarianceController,
+    OracleController,
+)
+from repro.management.planning import ProfilePlanningController
+from repro.management.node import NodeRunResult, SensorNodeSimulation
+
+__all__ = [
+    "PVHarvester",
+    "Battery",
+    "Supercapacitor",
+    "DutyCycledLoad",
+    "Controller",
+    "FixedDutyController",
+    "KansalController",
+    "MinimumVarianceController",
+    "OracleController",
+    "ProfilePlanningController",
+    "NodeRunResult",
+    "SensorNodeSimulation",
+]

@@ -1,0 +1,73 @@
+"""Duty-cycled application load model.
+
+The embedded application of Fig. 1 is modelled the way the
+energy-management papers this work supports do ([2], [3]): the node is
+*active* (sensing + radio) for a controllable fraction of each slot and
+asleep otherwise.  The controller's knob is the duty cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DutyCycledLoad"]
+
+
+@dataclass(frozen=True)
+class DutyCycledLoad:
+    """Two-state (active/sleep) load with a continuous duty knob.
+
+    Attributes
+    ----------
+    active_power_watts:
+        Draw while performing the application task (sense + TX,
+        ~60 mW for a mote-class node).
+    sleep_power_watts:
+        Draw while idle (everything but the wake timer off).
+    min_duty / max_duty:
+        Application-imposed bounds on the duty cycle: ``min_duty``
+        encodes the minimum service the deployment tolerates,
+        ``max_duty`` the most useful work it can do.
+    """
+
+    active_power_watts: float = 60e-3
+    sleep_power_watts: float = 30e-6
+    min_duty: float = 0.02
+    max_duty: float = 1.0
+
+    def __post_init__(self):
+        if self.active_power_watts <= 0:
+            raise ValueError("active_power_watts must be positive")
+        if self.sleep_power_watts < 0:
+            raise ValueError("sleep_power_watts must be non-negative")
+        if self.active_power_watts <= self.sleep_power_watts:
+            raise ValueError("active power must exceed sleep power")
+        if not 0.0 <= self.min_duty <= self.max_duty <= 1.0:
+            raise ValueError("require 0 <= min_duty <= max_duty <= 1")
+
+    def clamp(self, duty: float) -> float:
+        """Clamp a requested duty cycle to the allowed range."""
+        return max(self.min_duty, min(self.max_duty, duty))
+
+    def power(self, duty: float) -> float:
+        """Average power (W) at a duty cycle (after clamping)."""
+        duty = self.clamp(duty)
+        return duty * self.active_power_watts + (1.0 - duty) * self.sleep_power_watts
+
+    def energy(self, duty: float, seconds: float) -> float:
+        """Energy (J) consumed over ``seconds`` at a duty cycle."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.power(duty) * seconds
+
+    def duty_for_power(self, watts: float) -> float:
+        """Duty cycle whose average power equals ``watts`` (clamped).
+
+        Inverse of :meth:`power`; the controllers use it to convert an
+        energy budget into a duty-cycle setting.
+        """
+        if watts < 0:
+            raise ValueError("watts must be non-negative")
+        span = self.active_power_watts - self.sleep_power_watts
+        duty = (watts - self.sleep_power_watts) / span
+        return self.clamp(duty)

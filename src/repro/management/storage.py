@@ -1,0 +1,149 @@
+"""Energy-storage models: battery and supercapacitor.
+
+Both expose the same small interface the node simulation drives:
+
+* ``charge(joules) -> stored`` -- add harvested energy (after charge
+  efficiency), returning how much was actually stored (overflow beyond
+  capacity is wasted -- a real regulator would shunt it);
+* ``discharge(joules) -> supplied`` -- draw energy for the load
+  (divided by discharge efficiency), returning how much of the request
+  could be supplied;
+* ``leak(seconds)`` -- self-discharge over time;
+* ``state_of_charge`` in [0, 1].
+
+Invariant: the stored energy never leaves ``[0, capacity]``; property
+tests in ``tests/management/test_storage.py`` enforce it under random
+operation sequences.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Battery", "Supercapacitor"]
+
+
+class Battery:
+    """Rechargeable battery with round-trip efficiency and leakage.
+
+    Parameters
+    ----------
+    capacity_joules:
+        Usable capacity (a 2.5 Wh NiMH AA pair ~ 9000 J).
+    charge_efficiency / discharge_efficiency:
+        Fractions of energy surviving each direction (NiMH ~0.9/0.95).
+    leakage_watts:
+        Constant self-discharge power while energy remains.
+    initial_soc:
+        Initial state of charge in [0, 1].
+    """
+
+    def __init__(
+        self,
+        capacity_joules: float = 9000.0,
+        charge_efficiency: float = 0.90,
+        discharge_efficiency: float = 0.95,
+        leakage_watts: float = 10e-6,
+        initial_soc: float = 0.5,
+    ):
+        if capacity_joules <= 0:
+            raise ValueError("capacity_joules must be positive")
+        for name, value in (
+            ("charge_efficiency", charge_efficiency),
+            ("discharge_efficiency", discharge_efficiency),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if leakage_watts < 0:
+            raise ValueError("leakage_watts must be non-negative")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ValueError("initial_soc must be in [0, 1]")
+        self.capacity_joules = capacity_joules
+        self.charge_efficiency = charge_efficiency
+        self.discharge_efficiency = discharge_efficiency
+        self.leakage_watts = leakage_watts
+        self._stored = initial_soc * capacity_joules
+
+    # ------------------------------------------------------------------
+    @property
+    def stored_joules(self) -> float:
+        """Energy currently stored."""
+        return self._stored
+
+    @property
+    def state_of_charge(self) -> float:
+        """Stored energy as a fraction of capacity."""
+        return self._stored / self.capacity_joules
+
+    @property
+    def is_depleted(self) -> bool:
+        """True when no energy remains."""
+        return self._stored <= 0.0
+
+    def charge(self, joules: float) -> float:
+        """Store harvested energy; returns the amount actually stored."""
+        if joules < 0:
+            raise ValueError("charge amount must be non-negative")
+        incoming = joules * self.charge_efficiency
+        room = self.capacity_joules - self._stored
+        stored = min(incoming, room)
+        self._stored += stored
+        return stored
+
+    def discharge(self, joules: float) -> float:
+        """Draw energy for the load; returns the amount supplied.
+
+        The store loses ``supplied / discharge_efficiency``; if less
+        energy remains than requested, everything left is supplied.
+        """
+        if joules < 0:
+            raise ValueError("discharge amount must be non-negative")
+        drawn_from_store = joules / self.discharge_efficiency
+        if drawn_from_store <= self._stored:
+            self._stored -= drawn_from_store
+            return joules
+        supplied = self._stored * self.discharge_efficiency
+        self._stored = 0.0
+        return supplied
+
+    def leak(self, seconds: float) -> float:
+        """Apply self-discharge over ``seconds``; returns energy lost."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        loss = min(self._stored, self.leakage_watts * seconds)
+        self._stored -= loss
+        return loss
+
+
+class Supercapacitor(Battery):
+    """Supercapacitor: higher round-trip efficiency, SoC-dependent leakage.
+
+    Supercap self-discharge grows with the stored voltage; modelled as a
+    leakage power proportional to the state of charge.
+    """
+
+    def __init__(
+        self,
+        capacity_joules: float = 400.0,
+        charge_efficiency: float = 0.98,
+        discharge_efficiency: float = 0.98,
+        leakage_watts_full: float = 200e-6,
+        initial_soc: float = 0.5,
+    ):
+        super().__init__(
+            capacity_joules=capacity_joules,
+            charge_efficiency=charge_efficiency,
+            discharge_efficiency=discharge_efficiency,
+            leakage_watts=0.0,
+            initial_soc=initial_soc,
+        )
+        if leakage_watts_full < 0:
+            raise ValueError("leakage_watts_full must be non-negative")
+        self.leakage_watts_full = leakage_watts_full
+
+    def leak(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        loss = min(
+            self._stored, self.leakage_watts_full * self.state_of_charge * seconds
+        )
+        self._stored -= loss
+        return loss

@@ -1,0 +1,39 @@
+"""Prediction-error measurement (Section III of the paper).
+
+* :mod:`repro.metrics.errors` -- per-slot error definitions (Eq. 6 and
+  Eq. 7) and the aggregate error functions (MAPE, MAPE', RMSE, MAE, MBE).
+* :mod:`repro.metrics.roi` -- the region-of-interest mask: only samples
+  whose reference power is at least a fraction (10 % in the paper) of the
+  trace peak count towards the average, and the first 20 days are warm-up.
+* :mod:`repro.metrics.evaluate` -- drive any online predictor over a
+  trace and collect an aligned :class:`PredictionRun`.
+"""
+
+from repro.metrics.errors import (
+    mae,
+    mape,
+    mbe,
+    rmse,
+    slot_errors,
+    slot_errors_prime,
+)
+from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
+from repro.metrics.evaluate import PredictionRun, evaluate_predictor
+from repro.metrics.summary import RunSummary, format_summary, summarise
+
+__all__ = [
+    "slot_errors",
+    "slot_errors_prime",
+    "mape",
+    "mae",
+    "mbe",
+    "rmse",
+    "roi_mask",
+    "DEFAULT_ROI_FRACTION",
+    "DEFAULT_WARMUP_DAYS",
+    "PredictionRun",
+    "evaluate_predictor",
+    "RunSummary",
+    "summarise",
+    "format_summary",
+]

@@ -1,0 +1,151 @@
+"""Run any online predictor over a trace and score it.
+
+:func:`evaluate_predictor` is the generic (non-vectorized) evaluation
+path: it slices the trace into slots, feeds the start-of-slot samples to
+the predictor in time order, aligns predictions with both references
+(slot mean for Eq. 7, next boundary sample for Eq. 6), applies the
+region-of-interest mask and reports every aggregate error.  The fast
+WCMA-specific sweeps live in :mod:`repro.core.optimizer`; this module is
+used for baselines, cross-checks, and the node simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.errors import mae, mape, mbe, rmse
+from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
+from repro.solar.slots import SlotView
+from repro.solar.trace import SolarTrace
+
+__all__ = ["PredictionRun", "evaluate_predictor", "score_predictions"]
+
+
+@dataclass(frozen=True)
+class PredictionRun:
+    """Aligned predictions, references and scores for one evaluation.
+
+    All flat arrays share the boundary index ``t`` (``t = day*N + slot``)
+    and have length ``n_boundaries - 1`` (the final boundary has no next
+    sample to score against).
+
+    Attributes
+    ----------
+    n_slots:
+        Slots per day.
+    predictions:
+        ``p[t]`` -- prediction made at boundary ``t``.
+    reference_mean:
+        ``m[t]`` -- true mean power of the slot starting at ``t`` (Eq. 7
+        reference).
+    reference_next_start:
+        ``s[t+1]`` -- sample at the next boundary (Eq. 6 reference).
+    mask_mean / mask_next:
+        Region-of-interest masks for the two references.
+    mape / mape_prime / mae_value / rmse_value / mbe_value:
+        Aggregate scores (fractions, not percent).
+    """
+
+    n_slots: int
+    predictions: np.ndarray
+    reference_mean: np.ndarray
+    reference_next_start: np.ndarray
+    mask_mean: np.ndarray
+    mask_next: np.ndarray
+    mape: float
+    mape_prime: float
+    mae_value: float
+    rmse_value: float
+    mbe_value: float
+
+    @property
+    def n_scored(self) -> int:
+        """Number of samples inside the Eq. 7 region of interest."""
+        return int(self.mask_mean.sum())
+
+
+def score_predictions(
+    predictions: np.ndarray,
+    reference_mean: np.ndarray,
+    reference_next_start: np.ndarray,
+    n_slots: int,
+    roi_fraction: float = DEFAULT_ROI_FRACTION,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+) -> PredictionRun:
+    """Score aligned prediction/reference arrays (see :class:`PredictionRun`)."""
+    predictions = np.asarray(predictions, dtype=float)
+    reference_mean = np.asarray(reference_mean, dtype=float)
+    reference_next_start = np.asarray(reference_next_start, dtype=float)
+    if not (
+        predictions.shape == reference_mean.shape == reference_next_start.shape
+    ):
+        raise ValueError("predictions and references must share one shape")
+
+    mask_mean = roi_mask(
+        reference_mean, n_slots, roi_fraction=roi_fraction, warmup_days=warmup_days
+    )
+    mask_next = roi_mask(
+        reference_next_start,
+        n_slots,
+        roi_fraction=roi_fraction,
+        warmup_days=warmup_days,
+    )
+    finite = np.isfinite(predictions)
+    mask_mean = mask_mean & finite
+    mask_next = mask_next & finite
+
+    err = reference_mean - predictions
+    err_prime = reference_next_start - predictions
+    return PredictionRun(
+        n_slots=n_slots,
+        predictions=predictions,
+        reference_mean=reference_mean,
+        reference_next_start=reference_next_start,
+        mask_mean=mask_mean,
+        mask_next=mask_next,
+        mape=mape(err, reference_mean, mask_mean),
+        mape_prime=mape(err_prime, reference_next_start, mask_next),
+        mae_value=mae(err, mask_mean),
+        rmse_value=rmse(err, mask_mean),
+        mbe_value=mbe(err, mask_mean),
+    )
+
+
+def evaluate_predictor(
+    predictor,
+    trace: SolarTrace,
+    n_slots: int,
+    roi_fraction: float = DEFAULT_ROI_FRACTION,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+) -> PredictionRun:
+    """Feed ``trace`` to ``predictor`` slot by slot and score the result.
+
+    The predictor is reset first, then receives every start-of-slot
+    sample in time order via ``observe``.  Predictors that declare
+    ``uses_slot_mean_feedback`` (the adaptive selectors) additionally
+    receive the just-finished slot's realized mean via
+    ``provide_slot_mean`` before each boundary -- information a metering
+    node has available, so the evaluation stays causal.
+    """
+    view = SlotView.from_trace(trace, n_slots)
+    predictor.reset()
+    if getattr(predictor, "uses_slot_mean_feedback", False):
+        starts = view.flat_starts()
+        means = view.flat_means()
+        all_predictions = np.empty_like(starts)
+        for t in range(starts.size):
+            if t > 0:
+                predictor.provide_slot_mean(float(means[t - 1]))
+            all_predictions[t] = predictor.observe(float(starts[t]))
+    else:
+        all_predictions = predictor.run(view.flat_starts())
+    return score_predictions(
+        predictions=all_predictions[:-1],
+        reference_mean=view.flat_means()[:-1],
+        reference_next_start=view.flat_starts()[1:],
+        n_slots=n_slots,
+        roi_fraction=roi_fraction,
+        warmup_days=warmup_days,
+    )

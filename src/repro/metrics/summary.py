@@ -1,0 +1,118 @@
+"""Rich evaluation reports: seasonal, conditional and quantile breakdowns.
+
+:func:`summarise` expands a :class:`~repro.metrics.evaluate.PredictionRun`
+into the diagnostics a deployment study needs beyond a single MAPE
+number: monthly error (does winter behave?), per-quantile error (are a
+few slots carrying the average?), error conditioned on the reference
+level (dawn vs midday), and the bias split (over- vs under-prediction,
+which matter differently to an energy-neutral controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.metrics.evaluate import PredictionRun
+
+__all__ = ["RunSummary", "summarise", "format_summary"]
+
+#: Days per month used for the monthly breakdown (non-leap year).
+MONTH_LENGTHS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Diagnostics of one evaluation run.
+
+    All MAPE-like values are fractions.
+    """
+
+    mape: float
+    monthly_mape: Dict[int, float]
+    error_quantiles: Dict[float, float]
+    mape_by_level: Dict[str, float]
+    over_prediction_fraction: float
+    mean_over_prediction: float
+    mean_under_prediction: float
+    n_scored: int
+
+
+def summarise(run: PredictionRun) -> RunSummary:
+    """Compute the full diagnostic summary of a run."""
+    mask = run.mask_mean
+    if not mask.any():
+        raise ValueError("run has no scored samples")
+    reference = run.reference_mean[mask]
+    predictions = run.predictions[mask]
+    pct_error = np.abs(reference - predictions) / reference
+    signed = predictions - reference  # positive = over-prediction
+
+    # Monthly breakdown from the boundary index.
+    t_indices = np.nonzero(mask)[0]
+    day_of_t = t_indices // run.n_slots
+    month_edges = np.cumsum((0,) + MONTH_LENGTHS)
+    monthly: Dict[int, float] = {}
+    for month in range(12):
+        in_month = (day_of_t >= month_edges[month]) & (
+            day_of_t < month_edges[month + 1]
+        )
+        if in_month.any():
+            monthly[month + 1] = float(pct_error[in_month].mean())
+
+    quantiles = {
+        q: float(np.quantile(pct_error, q)) for q in (0.5, 0.9, 0.99)
+    }
+
+    # Error conditioned on the reference level (relative to scored peak).
+    peak = reference.max()
+    bands = {
+        "low (10-40% of peak)": (0.10, 0.40),
+        "mid (40-70% of peak)": (0.40, 0.70),
+        "high (70-100% of peak)": (0.70, 1.01),
+    }
+    by_level: Dict[str, float] = {}
+    for label, (low, high) in bands.items():
+        selected = (reference >= low * peak) & (reference < high * peak)
+        if selected.any():
+            by_level[label] = float(pct_error[selected].mean())
+
+    over = signed > 0
+    return RunSummary(
+        mape=float(pct_error.mean()),
+        monthly_mape=monthly,
+        error_quantiles=quantiles,
+        mape_by_level=by_level,
+        over_prediction_fraction=float(over.mean()),
+        mean_over_prediction=float(signed[over].mean()) if over.any() else 0.0,
+        mean_under_prediction=float(-signed[~over].mean()) if (~over).any() else 0.0,
+        n_scored=int(mask.sum()),
+    )
+
+
+def format_summary(summary: RunSummary) -> str:
+    """Human-readable multi-line rendering of a :class:`RunSummary`."""
+    lines: List[str] = []
+    lines.append(f"MAPE: {summary.mape:.2%} over {summary.n_scored} slots")
+    lines.append(
+        "error quantiles: "
+        + "  ".join(f"p{int(q * 100)}={v:.1%}" for q, v in summary.error_quantiles.items())
+    )
+    lines.append(
+        f"over-predicts {summary.over_prediction_fraction:.0%} of slots "
+        f"(+{summary.mean_over_prediction:.1f} W when over, "
+        f"-{summary.mean_under_prediction:.1f} W when under)"
+    )
+    lines.append("by power level:")
+    for label, value in summary.mape_by_level.items():
+        lines.append(f"  {label:<24} {value:.2%}")
+    if summary.monthly_mape:
+        lines.append("by month:")
+        worst = max(summary.monthly_mape, key=summary.monthly_mape.get)
+        best = min(summary.monthly_mape, key=summary.monthly_mape.get)
+        for month, value in summary.monthly_mape.items():
+            marker = " (worst)" if month == worst else (" (best)" if month == best else "")
+            lines.append(f"  month {month:>2}: {value:.2%}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Terminal plotting: render the paper's figures without matplotlib.
+
+The benchmark environment is headless, so the figure experiments return
+data series; this module renders them as Unicode/ASCII charts for the
+CLI (``repro-solar plot fig2`` / ``plot fig7``) and for quick visual
+inspection in CI logs.
+
+Only plain characters and spaces are emitted; every public function
+returns a string (no printing side effects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "multi_series_chart", "render_fig2", "render_fig7"]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def line_chart(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Single-series chart: values resampled to ``width`` columns.
+
+    Bars rise from the baseline using density characters, giving a
+    compact profile view suitable for irradiance curves.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+
+    # Resample to the display width by averaging bins.
+    edges = np.linspace(0, data.size, width + 1).astype(int)
+    columns = np.array(
+        [
+            data[start:stop].mean() if stop > start else data[min(start, data.size - 1)]
+            for start, stop in zip(edges[:-1], edges[1:])
+        ]
+    )
+    top = float(columns.max())
+    if top <= 0:
+        top = 1.0
+    fill = np.clip(columns / top * height, 0.0, height)
+
+    rows = []
+    for level in range(height, 0, -1):
+        cells = []
+        for value in fill:
+            if value >= level:
+                cells.append("#")
+            elif value > level - 1:
+                cells.append(_LEVELS[int((value - (level - 1)) * (len(_LEVELS) - 1))])
+            else:
+                cells.append(" ")
+        prefix = f"{top * level / height:8.1f} |" if level in (height, 1) else " " * 8 + " |"
+        rows.append(prefix + "".join(cells))
+    rows.append(" " * 8 + "+" + "-" * width)
+    if x_label:
+        rows.append(" " * 10 + x_label)
+    if y_label:
+        rows.insert(0, y_label)
+    return "\n".join(rows)
+
+
+def multi_series_chart(
+    series: Dict[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Scatter-style chart of several named series sharing an x axis.
+
+    Each series is drawn with its own letter (first letter of its name,
+    uppercased, disambiguated by position); collisions show ``*``.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must share one length")
+    n_points = lengths.pop()
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if x_values is None:
+        x_values = list(range(n_points))
+    if len(x_values) != n_points:
+        raise ValueError("x_values length mismatch")
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi == lo:
+        hi = lo + 1.0
+    x_arr = np.asarray(x_values, dtype=float)
+    x_lo, x_hi = float(x_arr.min()), float(x_arr.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for name in series:
+        marker = name[0].upper()
+        while marker in used:
+            marker = chr(ord(marker) + 1) if marker != "Z" else "*"
+            if marker == "*":
+                break
+        used.add(marker)
+        markers[name] = marker
+
+    for name, values in series.items():
+        marker = markers[name]
+        for x, y in zip(x_arr, np.asarray(values, dtype=float)):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((hi - y) / (hi - lo) * (height - 1)))
+            current = grid[row][col]
+            grid[row][col] = marker if current in (" ", marker) else "*"
+
+    rows = []
+    if y_label:
+        rows.append(y_label)
+    for i, cells in enumerate(grid):
+        if i == 0:
+            prefix = f"{hi:8.3f} |"
+        elif i == height - 1:
+            prefix = f"{lo:8.3f} |"
+        else:
+            prefix = " " * 8 + " |"
+        rows.append(prefix + "".join(cells))
+    rows.append(" " * 8 + "+" + "-" * width)
+    axis = f"{x_lo:g}".ljust(width - 6) + f"{x_hi:g}"
+    rows.append(" " * 10 + axis)
+    if x_label:
+        rows.append(" " * 10 + x_label)
+    legend = "   ".join(f"{marker}={name}" for name, marker in markers.items())
+    rows.append(" " * 10 + legend)
+    return "\n".join(rows)
+
+
+def render_fig2(n_days: int = 365, site: str = "SPMD") -> str:
+    """Fig. 2 as a text chart: six days of 5-minute power."""
+    from repro.experiments.fig2 import series
+
+    data = series(site=site, n_days=n_days)
+    flat = data.reshape(-1)
+    chart = line_chart(
+        flat,
+        width=72,
+        height=12,
+        y_label=f"W/m^2   ({site}, {data.shape[0]} consecutive days, 5-min bins)",
+        x_label="time -> (day boundaries every 12 columns)",
+    )
+    return chart
+
+
+def render_fig7(n_days: int = 365, sites: Optional[Sequence[str]] = None) -> str:
+    """Fig. 7 as a text chart: MAPE vs D for every site."""
+    from repro.experiments.fig7 import series
+
+    curves = series(n_days=n_days, sites=sites)
+    d_values = list(range(2, 2 + len(next(iter(curves.values())))))
+    return multi_series_chart(
+        {name: values.tolist() for name, values in curves.items()},
+        x_values=d_values,
+        width=60,
+        height=16,
+        y_label="MAPE",
+        x_label="D (days of history)",
+    )

@@ -1,0 +1,50 @@
+"""Solar irradiance substrate.
+
+This subpackage is the data substrate for the reproduction.  The paper
+evaluates the prediction algorithm on one year of measured solar
+irradiance from six NREL MIDC sites (Table I of the paper).  Those traces
+are not redistributable and the reproduction environment has no network
+access, so this package provides a physically grounded *synthetic*
+generator:
+
+* :mod:`repro.solar.geometry` -- sun position (declination, hour angle,
+  elevation) from latitude and day of year.
+* :mod:`repro.solar.clearsky` -- clear-sky global horizontal irradiance
+  models (Haurwitz, Adnot).
+* :mod:`repro.solar.clouds` -- a stochastic cloud model: a Markov chain
+  over day types (clear / partly cloudy / overcast) plus an AR(1)
+  autocorrelated intra-day clear-sky index.
+* :mod:`repro.solar.sites` -- climate profiles approximating the six
+  paper sites (SPMD, ECSU, ORNL, HSU, NPCS, PFCI).
+* :mod:`repro.solar.synthetic` -- ties the above together into a seeded
+  one-year trace generator.
+* :mod:`repro.solar.trace` -- the :class:`SolarTrace` container.
+* :mod:`repro.solar.slots` -- slot decomposition used by the prediction
+  algorithm (start-of-slot samples and slot mean power, Fig. 4).
+* :mod:`repro.solar.io` -- NREL-MIDC-like CSV round-trip.
+* :mod:`repro.solar.datasets` -- ``build_dataset(name)`` front-end.
+"""
+
+from repro.solar.trace import SolarTrace
+from repro.solar.slots import SlotView, slot_means, slot_starts
+from repro.solar.sites import SITES, SiteProfile, get_site
+from repro.solar.synthetic import generate_trace
+from repro.solar.datasets import available_datasets, build_dataset
+from repro.solar.statistics import DayStatistics, trace_statistics
+from repro.solar.calibration import calibrate_site
+
+__all__ = [
+    "SolarTrace",
+    "SlotView",
+    "slot_means",
+    "slot_starts",
+    "SITES",
+    "SiteProfile",
+    "get_site",
+    "generate_trace",
+    "available_datasets",
+    "build_dataset",
+    "DayStatistics",
+    "trace_statistics",
+    "calibrate_site",
+]

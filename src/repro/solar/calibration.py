@@ -1,0 +1,174 @@
+"""Fit a synthetic site profile to a measured trace.
+
+Closes the loop between real data and the synthetic generator: given a
+(real or synthetic) irradiance trace and its latitude, estimate the
+cloud-model parameters that reproduce its statistics, and return a
+ready-to-use :class:`~repro.solar.sites.SiteProfile`.  Users with an
+actual NREL MIDC download can calibrate a profile from one year and
+generate arbitrarily many statistically similar years.
+
+Estimation is method-of-moments, matching what the experiments are
+sensitive to:
+
+* day-type mix and spell persistence -> Markov chain;
+* per-day-type mean clear-sky index -> base levels;
+* per-day-type fast variability -> AR volatility;
+* per-day-type slow intra-day spread -> drift / jump budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solar.clouds import CloudModelParams, DayTypeModel
+from repro.solar.sites import SiteProfile
+from repro.solar.statistics import classify_days, clear_sky_index
+from repro.solar.trace import SolarTrace
+
+__all__ = ["calibrate_site"]
+
+
+def _day_type_chain(labels: np.ndarray) -> DayTypeModel:
+    """Maximum-likelihood 3-state transition matrix from labels."""
+    counts = np.full((3, 3), 0.5)  # Laplace smoothing
+    for previous, current in zip(labels[:-1], labels[1:]):
+        counts[previous, current] += 1.0
+    transition = counts / counts.sum(axis=1, keepdims=True)
+    initial = np.bincount(labels, minlength=3).astype(float) + 0.5
+    initial /= initial.sum()
+    return DayTypeModel(transition=transition, initial=initial)
+
+
+def calibrate_site(
+    trace: SolarTrace,
+    latitude_deg: float,
+    name: str = "CALIBRATED",
+    location: str = "--",
+    seed: int = 7000,
+    refine: int = 1,
+) -> SiteProfile:
+    """Estimate a :class:`SiteProfile` whose generator mimics ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        One year (or more) of irradiance at 1- or 5-minute resolution.
+    latitude_deg:
+        Site latitude (drives the clear-sky envelope used to extract
+        the clear-sky index).
+    name, location, seed:
+        Metadata for the returned profile.
+    refine:
+        Bias-correction iterations: after the moment fit, a probe year
+        is generated and the base levels shifted by the observed
+        clearness bias (the clamp/classification interplay otherwise
+        brightens regenerated years slightly).  0 disables.
+
+    Notes
+    -----
+    The fit matches first- and second-moment statistics per day type;
+    it does not attempt to recover the exact jump/transient split (many
+    parameterisations produce the same moments).  The acceptance test
+    is behavioural: a trace regenerated from the calibrated profile has
+    matching day-type mix, clearness and variability statistics (see
+    ``tests/solar/test_calibration.py``).
+    """
+    if trace.n_days < 30:
+        raise ValueError(
+            f"calibration needs >= 30 days of data, got {trace.n_days}"
+        )
+    labels = classify_days(trace, latitude_deg)
+    index = clear_sky_index(trace, latitude_deg).reshape(
+        trace.n_days, trace.samples_per_day
+    )
+
+    base = []
+    volatility = []
+    drift = []
+    spd = trace.samples_per_day
+    lit_slice = slice(spd // 3, 2 * spd // 3)  # midday, away from dawn noise
+    minutes_per_sample = trace.resolution_minutes
+
+    for day_type in range(3):
+        rows = index[labels == day_type][:, lit_slice]
+        if rows.size == 0:
+            # Day type absent from the data: fall back to defaults.
+            defaults = CloudModelParams()
+            base.append(defaults.base_index[day_type])
+            volatility.append(defaults.volatility[day_type])
+            drift.append(defaults.day_drift[day_type])
+            continue
+        base.append(float(np.clip(rows.mean(), 0.05, 1.05)))
+        # Fast variability: sample-to-sample changes at ~5-minute scale.
+        stride = max(1, 5 // minutes_per_sample)
+        steps = np.diff(rows[:, ::stride], axis=1)
+        volatility.append(float(np.clip(steps.std() / np.sqrt(2), 0.005, 0.5)))
+        # Slow spread: dispersion of per-day midday means around the base,
+        # attributed to the drift/jump budget.
+        day_means = rows.mean(axis=1)
+        drift.append(float(np.clip(day_means.std(), 0.01, 0.6)))
+
+    # The measured per-day spread is produced jointly by the slow drift
+    # and the regime jumps; splitting it (rather than assigning the full
+    # spread to both) keeps regenerated days from over-dispersing and
+    # re-classifying into neighbouring day types.
+    drift_arr = np.asarray(drift)
+    day_drift = np.clip(0.6 * drift_arr, 0.01, 0.25)
+    jump_sd = np.clip(0.6 * drift_arr, 0.05, 0.5)
+    params = CloudModelParams(
+        base_index=tuple(base),
+        volatility=tuple(volatility),
+        mean_reversion=(0.25, 0.18, 0.12),
+        day_drift=tuple(day_drift),
+        jump_rate=(0.4, 3.0, 1.5),
+        jump_sd=tuple(jump_sd),
+        transient_rate=1.0,
+        transient_depth=0.55,
+        transient_minutes=18.0,
+    )
+
+    profile = SiteProfile(
+        name=name,
+        location=location,
+        latitude_deg=latitude_deg,
+        resolution_minutes=trace.resolution_minutes,
+        day_type_model=_day_type_chain(labels),
+        cloud_params=params,
+        seed=seed,
+    )
+
+    # Bias correction: regenerate a probe and shift the base levels by
+    # the clearness error (clamping and re-classification otherwise
+    # leave regenerated years a few percent brighter than the source).
+    from dataclasses import replace
+
+    from repro.solar.statistics import daily_clearness
+    from repro.solar.synthetic import generate_trace
+
+    source_clearness = float(daily_clearness(trace, latitude_deg).mean())
+    for _ in range(max(0, refine)):
+        # Average two probe realisations over the full source length so
+        # the correction measures the model, not one weather draw.
+        probe_clearness = float(
+            np.mean(
+                [
+                    daily_clearness(
+                        generate_trace(profile, n_days=trace.n_days, seed=seed + k),
+                        latitude_deg,
+                    ).mean()
+                    for k in (1, 2)
+                ]
+            )
+        )
+        bias = probe_clearness - source_clearness
+        if abs(bias) < 0.01:
+            break
+        corrected = tuple(
+            float(np.clip(b - bias, 0.05, 1.05))
+            for b in profile.cloud_params.base_index
+        )
+        profile = replace(
+            profile,
+            cloud_params=replace(profile.cloud_params, base_index=corrected),
+        )
+    return profile

@@ -1,0 +1,70 @@
+"""Clear-sky global horizontal irradiance (GHI) models.
+
+The stochastic cloud model in :mod:`repro.solar.clouds` works in terms of
+a *clear-sky index* (ratio of actual to clear-sky irradiance), so we need
+a clear-sky envelope.  Two classic single-parameter models are provided:
+
+* :func:`haurwitz` -- Haurwitz (1945), a robust all-purpose model driven
+  only by the solar zenith angle.
+* :func:`adnot` -- Adnot et al. (1979), slightly different shoulder
+  shape; used in tests as an independent cross-check.
+
+Both return power per unit area in W/m^2 and are vectorised over numpy
+arrays of elevation angles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["haurwitz", "adnot", "clearsky_profile"]
+
+
+def haurwitz(elevation_rad: np.ndarray) -> np.ndarray:
+    """Haurwitz clear-sky GHI in W/m^2 from solar elevation (radians).
+
+    ``GHI = 1098 * cos(z) * exp(-0.057 / cos(z))`` where ``z`` is the
+    zenith angle.  Elevations at or below the horizon yield exactly 0.
+    """
+    elevation = np.asarray(elevation_rad, dtype=float)
+    cos_zenith = np.sin(elevation)  # cos(zenith) == sin(elevation)
+    up = cos_zenith > 1e-6
+    ghi = np.zeros_like(cos_zenith)
+    cz = np.where(up, cos_zenith, 1.0)  # avoid divide-by-zero below horizon
+    ghi = np.where(up, 1098.0 * cz * np.exp(-0.057 / cz), 0.0)
+    return ghi
+
+
+def adnot(elevation_rad: np.ndarray) -> np.ndarray:
+    """Adnot et al. clear-sky GHI in W/m^2 from solar elevation (radians).
+
+    ``GHI = 951.39 * cos(z)^1.15``; zero below the horizon.
+    """
+    elevation = np.asarray(elevation_rad, dtype=float)
+    cos_zenith = np.sin(elevation)
+    up = cos_zenith > 1e-6
+    cz = np.where(up, cos_zenith, 0.0)
+    return np.where(up, 951.39 * np.power(cz, 1.15), 0.0)
+
+
+_MODELS = {"haurwitz": haurwitz, "adnot": adnot}
+
+
+def clearsky_profile(
+    latitude_deg: float,
+    day_of_year: int,
+    samples_per_day: int,
+    model: str = "haurwitz",
+) -> np.ndarray:
+    """Clear-sky GHI profile (W/m^2) over one day on a uniform grid.
+
+    Convenience wrapper combining :func:`repro.solar.geometry.elevation_profile`
+    with the chosen clear-sky model.
+    """
+    from repro.solar.geometry import elevation_profile
+
+    try:
+        fn = _MODELS[model]
+    except KeyError:
+        raise ValueError(f"unknown clear-sky model {model!r}; choose from {sorted(_MODELS)}")
+    return fn(elevation_profile(latitude_deg, day_of_year, samples_per_day))

@@ -1,0 +1,253 @@
+"""Stochastic cloud model.
+
+Measured solar irradiance is commonly decomposed as::
+
+    GHI(t) = k(t) * GHI_clearsky(t)
+
+where ``k`` is the *clear-sky index* in roughly ``[0, 1.1]`` (values
+slightly above 1 occur through cloud-edge reflection).  The statistical
+structure of ``k`` is what distinguishes a sunny desert site (PFCI, AZ in
+the paper) from a coastal or mountain site (HSU, SPMD): sunny sites spend
+most days near ``k ~ 1`` with little intra-day movement, variable sites
+mix clear, broken-cloud and overcast days with fast intra-day swings.
+
+The model here has two levels:
+
+1. **Day-type Markov chain** (:class:`DayTypeModel`) over the states
+   ``CLEAR``, ``PARTLY`` and ``OVERCAST``.  Persistence in the transition
+   matrix creates multi-day weather spells, matching the paper's remark
+   that traces differ in the "number and distribution of sunny and cloudy
+   days".
+2. **Intra-day AR(1) clear-sky index** (:class:`IntradayCloudModel`): for
+   each day, ``k`` follows a mean-reverting AR(1) process around the day
+   type's base level, with day-type-specific volatility and mean-reversion
+   speed.  PARTLY days additionally receive short multiplicative cloud
+   transients (passing cumulus) that create the bursty drops visible in
+   Fig. 2 of the paper.
+
+Both levels draw from a caller-supplied :class:`numpy.random.Generator`
+so traces are exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DayType", "DayTypeModel", "IntradayCloudModel", "CloudModelParams"]
+
+
+class DayType(enum.IntEnum):
+    """Weather class of a whole day."""
+
+    CLEAR = 0
+    PARTLY = 1
+    OVERCAST = 2
+
+
+@dataclass(frozen=True)
+class DayTypeModel:
+    """First-order Markov chain over :class:`DayType`.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic 3x3 matrix; ``transition[i][j]`` is the probability
+        of moving from day type ``i`` to day type ``j``.
+    initial:
+        Distribution of the first day's type.
+    """
+
+    transition: np.ndarray
+    initial: np.ndarray = field(
+        default_factory=lambda: np.array([1.0 / 3, 1.0 / 3, 1.0 / 3])
+    )
+
+    def __post_init__(self):
+        transition = np.asarray(self.transition, dtype=float)
+        initial = np.asarray(self.initial, dtype=float)
+        if transition.shape != (3, 3):
+            raise ValueError(f"transition must be 3x3, got {transition.shape}")
+        if initial.shape != (3,):
+            raise ValueError(f"initial must have 3 entries, got {initial.shape}")
+        if not np.allclose(transition.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition rows must each sum to 1")
+        if not np.isclose(initial.sum(), 1.0, atol=1e-9):
+            raise ValueError("initial distribution must sum to 1")
+        if (transition < 0).any() or (initial < 0).any():
+            raise ValueError("probabilities must be non-negative")
+        object.__setattr__(self, "transition", transition)
+        object.__setattr__(self, "initial", initial)
+
+    def sample_days(self, n_days: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a length-``n_days`` day-type sequence."""
+        if n_days <= 0:
+            raise ValueError("n_days must be positive")
+        states = np.empty(n_days, dtype=np.int64)
+        states[0] = rng.choice(3, p=self.initial)
+        for day in range(1, n_days):
+            states[day] = rng.choice(3, p=self.transition[states[day - 1]])
+        return states
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution of the chain (left eigenvector for 1)."""
+        eigvals, eigvecs = np.linalg.eig(self.transition.T)
+        idx = int(np.argmin(np.abs(eigvals - 1.0)))
+        vec = np.real(eigvecs[:, idx])
+        vec = np.abs(vec)
+        return vec / vec.sum()
+
+
+@dataclass(frozen=True)
+class CloudModelParams:
+    """Per-day-type parameters of the intra-day clear-sky-index process.
+
+    Attributes
+    ----------
+    base_index:
+        Mean clear-sky index per day type ``(clear, partly, overcast)``.
+    volatility:
+        Innovation standard deviation of the AR(1) per day type.
+    mean_reversion:
+        AR(1) mean-reversion coefficient in ``(0, 1]`` per day type;
+        larger values revert faster (less persistent excursions).
+    day_drift:
+        Standard deviation, per day type, of a slow random-walk drift of
+        the index accumulated over a whole day.  This models intra-day
+        weather evolution (fronts arriving, fog burning off): it makes
+        hours-old observations *biased*, not merely noisy, which is what
+        limits the useful conditioning-window length ``K`` on real data.
+    jump_rate:
+        Expected number of *regime jumps* per day, per day type: abrupt
+        level changes of the index (a front passing, the marine layer
+        clearing).  Jumps decorrelate the index sharply, unlike the
+        gradual random walk, and are the main mechanism keeping the
+        optimal ``K`` small.
+    jump_sd:
+        Standard deviation of each jump's level change, per day type.
+    transient_rate:
+        Expected number of discrete cloud transients per *hour* on PARTLY
+        days (passing clouds that multiply ``k`` down sharply).
+    transient_depth:
+        Mean fractional attenuation of a transient (0.6 = drop to 40%).
+    transient_minutes:
+        Mean duration of a transient in minutes.
+    k_min, k_max:
+        Hard clamp of the clear-sky index.
+    """
+
+    base_index: Sequence[float] = (0.97, 0.65, 0.25)
+    volatility: Sequence[float] = (0.015, 0.10, 0.05)
+    mean_reversion: Sequence[float] = (0.25, 0.08, 0.12)
+    day_drift: Sequence[float] = (0.03, 0.18, 0.10)
+    jump_rate: Sequence[float] = (0.2, 2.0, 1.0)
+    jump_sd: Sequence[float] = (0.05, 0.25, 0.12)
+    transient_rate: float = 1.2
+    transient_depth: float = 0.55
+    transient_minutes: float = 12.0
+    k_min: float = 0.02
+    k_max: float = 1.15
+
+    def __post_init__(self):
+        per_type = (
+            self.base_index,
+            self.volatility,
+            self.mean_reversion,
+            self.day_drift,
+            self.jump_rate,
+            self.jump_sd,
+        )
+        if any(len(seq) != 3 for seq in per_type):
+            raise ValueError("per-day-type parameter tuples must have 3 entries")
+        if not 0.0 <= self.k_min < self.k_max:
+            raise ValueError("require 0 <= k_min < k_max")
+        for coeff in self.mean_reversion:
+            if not 0.0 < coeff <= 1.0:
+                raise ValueError("mean_reversion coefficients must be in (0, 1]")
+
+
+class IntradayCloudModel:
+    """Generates a per-sample clear-sky index series for one day."""
+
+    def __init__(self, params: CloudModelParams):
+        self.params = params
+
+    def sample_day(
+        self,
+        day_type: DayType,
+        samples_per_day: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Clear-sky index for one day on a uniform grid.
+
+        Returns an array of shape ``(samples_per_day,)`` clamped to
+        ``[k_min, k_max]``.
+        """
+        if samples_per_day <= 0:
+            raise ValueError("samples_per_day must be positive")
+        p = self.params
+        base = p.base_index[day_type]
+        sigma = p.volatility[day_type]
+        beta = p.mean_reversion[day_type]
+
+        # Mean-reverting AR(1) around the day-type base level.  Scale the
+        # per-step innovation so the *stationary* variance is resolution
+        # independent: sampling at 1 minute vs 5 minutes should describe
+        # the same weather.
+        steps_per_min = samples_per_day / (24.0 * 60.0)
+        step_beta = 1.0 - (1.0 - beta) ** (1.0 / max(steps_per_min * 5.0, 1e-9))
+        stationary_sd = sigma
+        innovation_sd = stationary_sd * np.sqrt(
+            max(1.0 - (1.0 - step_beta) ** 2, 1e-12)
+        )
+
+        noise = rng.normal(0.0, innovation_sd, size=samples_per_day)
+        k = np.empty(samples_per_day, dtype=float)
+        k[0] = base + rng.normal(0.0, stationary_sd)
+        for i in range(1, samples_per_day):
+            k[i] = k[i - 1] + step_beta * (base - k[i - 1]) + noise[i]
+
+        # Slow intra-day weather drift: a random walk whose end-of-day
+        # standard deviation is day_drift[day_type].
+        drift_sd = p.day_drift[day_type]
+        if drift_sd > 0:
+            step_sd = drift_sd / np.sqrt(samples_per_day)
+            drift = np.cumsum(rng.normal(0.0, step_sd, size=samples_per_day))
+            k = k + drift
+
+        # Regime jumps: abrupt, persistent level changes at random instants.
+        n_jumps = rng.poisson(p.jump_rate[day_type])
+        for _ in range(n_jumps):
+            at = int(rng.integers(0, samples_per_day))
+            k[at:] += rng.normal(0.0, p.jump_sd[day_type])
+
+        if day_type == DayType.PARTLY:
+            k *= self._transient_mask(samples_per_day, rng, rate_scale=1.0)
+        elif day_type == DayType.OVERCAST:
+            # Breaks and showers modulate overcast days too, at half rate.
+            k *= self._transient_mask(samples_per_day, rng, rate_scale=0.5)
+
+        return np.clip(k, p.k_min, p.k_max)
+
+    def _transient_mask(
+        self, samples_per_day: int, rng: np.random.Generator, rate_scale: float = 1.0
+    ) -> np.ndarray:
+        """Multiplicative mask of passing-cloud transients."""
+        p = self.params
+        mask = np.ones(samples_per_day, dtype=float)
+        minutes_per_sample = 24.0 * 60.0 / samples_per_day
+        expected = p.transient_rate * 24.0 * rate_scale
+        n_transients = rng.poisson(expected)
+        if n_transients == 0:
+            return mask
+        starts = rng.integers(0, samples_per_day, size=n_transients)
+        for start in starts:
+            duration_min = rng.exponential(p.transient_minutes)
+            length = max(1, int(round(duration_min / minutes_per_sample)))
+            depth = np.clip(rng.normal(p.transient_depth, 0.15), 0.1, 0.95)
+            end = min(samples_per_day, start + length)
+            mask[start:end] = np.minimum(mask[start:end], 1.0 - depth)
+        return mask

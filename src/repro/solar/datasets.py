@@ -1,0 +1,66 @@
+"""Dataset front-end: build (and cache) the six evaluation traces.
+
+``build_dataset("PFCI")`` returns the one-year synthetic trace standing
+in for the corresponding NREL MIDC download (see Table I of the paper
+and the substitution table in DESIGN.md).  Traces are memoised per
+``(site, n_days, seed)`` because generating a 1-minute year takes a
+noticeable fraction of a second and the experiment suite requests the
+same trace many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.solar.sites import SITE_ORDER, get_site
+from repro.solar.synthetic import generate_trace
+from repro.solar.trace import SolarTrace
+
+__all__ = ["available_datasets", "build_dataset", "dataset_summary", "clear_cache"]
+
+_CACHE: Dict[Tuple[str, int, Optional[int]], SolarTrace] = {}
+
+
+def available_datasets() -> tuple:
+    """Site codes in the paper's table order."""
+    return SITE_ORDER
+
+
+def build_dataset(
+    name: str, n_days: int = 365, seed: Optional[int] = None
+) -> SolarTrace:
+    """Return the synthetic stand-in trace for site ``name``.
+
+    Parameters
+    ----------
+    name:
+        Site code (``SPMD``, ``ECSU``, ``ORNL``, ``HSU``, ``NPCS``,
+        ``PFCI``), case-insensitive.
+    n_days:
+        Days to generate; 365 reproduces the paper's setup, smaller
+        values are useful for fast tests.
+    seed:
+        Optional override of the site's default seed.
+    """
+    site = get_site(name)
+    key = (site.name, n_days, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generate_trace(site, n_days=n_days, seed=seed)
+    return _CACHE[key]
+
+
+def dataset_summary(name: str, n_days: int = 365) -> dict:
+    """Table I row for one site: observations, days, resolution."""
+    site = get_site(name)
+    return {
+        "data_set": site.name,
+        "location": site.location,
+        "observations": site.samples_per_day * n_days,
+        "days": n_days,
+        "resolution_minutes": site.resolution_minutes,
+    }
+
+
+def clear_cache() -> None:
+    """Drop all memoised traces (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,114 @@
+"""Solar geometry: sun position as a function of location and time.
+
+The synthetic irradiance generator needs the solar elevation angle for
+every sample instant.  We use the standard engineering approximations
+found in solar-energy textbooks (Duffie & Beckman):
+
+* *declination* via Cooper's equation,
+* *hour angle* from local solar time,
+* *elevation* (altitude) from latitude, declination and hour angle.
+
+All angles are handled in radians internally; public helpers accept and
+return degrees where that is the conventional unit (latitude).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "declination",
+    "hour_angle",
+    "solar_elevation",
+    "elevation_profile",
+    "day_length_hours",
+    "sunrise_sunset_hours",
+]
+
+#: Days per (non-leap) year used throughout the reproduction.
+DAYS_PER_YEAR = 365
+
+
+def declination(day_of_year: int) -> float:
+    """Solar declination angle in radians (Cooper's equation).
+
+    Parameters
+    ----------
+    day_of_year:
+        Day number in ``[1, 365]`` (1 = January 1st).
+
+    Returns
+    -------
+    float
+        Declination in radians, in ``[-23.45deg, +23.45deg]``.
+    """
+    if not 1 <= day_of_year <= DAYS_PER_YEAR:
+        raise ValueError(f"day_of_year must be in [1, {DAYS_PER_YEAR}], got {day_of_year}")
+    return math.radians(23.45) * math.sin(2.0 * math.pi * (284 + day_of_year) / 365.0)
+
+
+def hour_angle(solar_time_hours: float) -> float:
+    """Hour angle in radians for a local solar time in hours.
+
+    Solar noon (12.0) maps to zero; mornings are negative.  The input is
+    taken modulo 24 so a cumulative hour count may be passed directly.
+    """
+    return math.radians(15.0) * ((solar_time_hours % 24.0) - 12.0)
+
+
+def solar_elevation(latitude_deg: float, day_of_year: int, solar_time_hours: float) -> float:
+    """Solar elevation angle in radians (negative below the horizon)."""
+    lat = math.radians(latitude_deg)
+    dec = declination(day_of_year)
+    ha = hour_angle(solar_time_hours)
+    sin_elev = math.sin(lat) * math.sin(dec) + math.cos(lat) * math.cos(dec) * math.cos(ha)
+    return math.asin(max(-1.0, min(1.0, sin_elev)))
+
+
+def elevation_profile(
+    latitude_deg: float, day_of_year: int, samples_per_day: int
+) -> np.ndarray:
+    """Vector of solar elevations (radians) over one day.
+
+    Sample ``i`` corresponds to solar time ``i * 24 / samples_per_day``
+    hours, i.e. sample 0 is midnight and the grid is uniform.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(samples_per_day,)`` elevations in radians.
+    """
+    if samples_per_day <= 0:
+        raise ValueError("samples_per_day must be positive")
+    lat = math.radians(latitude_deg)
+    dec = declination(day_of_year)
+    hours = np.arange(samples_per_day, dtype=float) * (24.0 / samples_per_day)
+    ha = np.radians(15.0) * (hours - 12.0)
+    sin_elev = math.sin(lat) * math.sin(dec) + math.cos(lat) * math.cos(dec) * np.cos(ha)
+    return np.arcsin(np.clip(sin_elev, -1.0, 1.0))
+
+
+def sunrise_sunset_hours(latitude_deg: float, day_of_year: int) -> tuple:
+    """Sunrise and sunset in local solar hours.
+
+    Returns ``(sunrise, sunset)``.  For polar day the pair is
+    ``(0.0, 24.0)``; for polar night ``(12.0, 12.0)`` (zero-length day).
+    """
+    lat = math.radians(latitude_deg)
+    dec = declination(day_of_year)
+    cos_ws = -math.tan(lat) * math.tan(dec)
+    if cos_ws <= -1.0:
+        return (0.0, 24.0)
+    if cos_ws >= 1.0:
+        return (12.0, 12.0)
+    ws = math.acos(cos_ws)  # sunset hour angle, radians
+    half_day = math.degrees(ws) / 15.0
+    return (12.0 - half_day, 12.0 + half_day)
+
+
+def day_length_hours(latitude_deg: float, day_of_year: int) -> float:
+    """Length of the day (sunrise to sunset) in hours."""
+    sunrise, sunset = sunrise_sunset_hours(latitude_deg, day_of_year)
+    return sunset - sunrise

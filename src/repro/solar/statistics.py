@@ -1,0 +1,132 @@
+"""Trace statistics: clear-sky index extraction and day classification.
+
+Utilities to characterise a trace the way the cloud model is
+parameterised -- useful both to validate the synthetic generator
+(tests compare generated statistics against the configured site
+profile) and to inspect *real* NREL MIDC downloads before plugging them
+into the experiments (see :mod:`repro.solar.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solar.clearsky import clearsky_profile
+from repro.solar.trace import SolarTrace
+
+__all__ = [
+    "clear_sky_index",
+    "daily_clearness",
+    "classify_days",
+    "DayStatistics",
+    "trace_statistics",
+]
+
+#: Daily-clearness thresholds separating OVERCAST / PARTLY / CLEAR.
+CLEARNESS_BOUNDS = (0.45, 0.8)
+
+
+def clear_sky_index(
+    trace: SolarTrace, latitude_deg: float, model: str = "haurwitz"
+) -> np.ndarray:
+    """Per-sample clear-sky index ``k = GHI / GHI_clearsky``.
+
+    Night samples (clear-sky value ~0) get index 0.  Returns an array
+    shaped like ``trace.values``.
+    """
+    spd = trace.samples_per_day
+    indices = np.empty_like(trace.values)
+    days = trace.as_days()
+    for day in range(trace.n_days):
+        envelope = clearsky_profile(
+            latitude_deg, day % 365 + 1, spd, model=model
+        )
+        lit = envelope > 1.0  # ignore the horizon sliver
+        k = np.zeros(spd)
+        k[lit] = days[day][lit] / envelope[lit]
+        indices[day * spd : (day + 1) * spd] = k
+    return indices
+
+
+def daily_clearness(trace: SolarTrace, latitude_deg: float) -> np.ndarray:
+    """Per-day clearness: received energy over clear-sky energy."""
+    spd = trace.samples_per_day
+    days = trace.as_days()
+    out = np.empty(trace.n_days)
+    for day in range(trace.n_days):
+        envelope = clearsky_profile(latitude_deg, day % 365 + 1, spd)
+        total = envelope.sum()
+        out[day] = days[day].sum() / total if total > 0 else 0.0
+    return out
+
+
+def classify_days(
+    trace: SolarTrace,
+    latitude_deg: float,
+    bounds: tuple = CLEARNESS_BOUNDS,
+) -> np.ndarray:
+    """Label each day 0=CLEAR, 1=PARTLY, 2=OVERCAST from daily clearness.
+
+    The label encoding matches :class:`repro.solar.clouds.DayType`.
+    """
+    low, high = bounds
+    if not 0.0 < low < high:
+        raise ValueError("bounds must satisfy 0 < low < high")
+    clearness = daily_clearness(trace, latitude_deg)
+    labels = np.full(trace.n_days, 1, dtype=np.int64)  # PARTLY
+    labels[clearness >= high] = 0  # CLEAR
+    labels[clearness < low] = 2  # OVERCAST
+    return labels
+
+
+@dataclass(frozen=True)
+class DayStatistics:
+    """Summary statistics of one trace.
+
+    Attributes
+    ----------
+    clear_fraction / partly_fraction / overcast_fraction:
+        Day-type mix.
+    mean_daily_energy_wh:
+        Average energy per day (W*h per unit area).
+    mean_clearness:
+        Average daily clearness.
+    midday_step_variability:
+        Mean absolute relative change between 30-minute-apart midday
+        samples -- the statistic the prediction difficulty tracks.
+    peak_wm2:
+        Trace peak power.
+    """
+
+    clear_fraction: float
+    partly_fraction: float
+    overcast_fraction: float
+    mean_daily_energy_wh: float
+    mean_clearness: float
+    midday_step_variability: float
+    peak_wm2: float
+
+
+def trace_statistics(trace: SolarTrace, latitude_deg: float) -> DayStatistics:
+    """Compute :class:`DayStatistics` for a trace."""
+    labels = classify_days(trace, latitude_deg)
+    counts = np.bincount(labels, minlength=3) / trace.n_days
+    clearness = daily_clearness(trace, latitude_deg)
+
+    spd = trace.samples_per_day
+    days = trace.as_days()
+    stride = max(1, (30 * spd) // (24 * 60))  # ~30 minutes of samples
+    midday = days[:, spd // 3 : 2 * spd // 3 : stride]
+    steps = np.abs(np.diff(midday, axis=1)) / (midday[:, :-1] + 1.0)
+
+    return DayStatistics(
+        clear_fraction=float(counts[0]),
+        partly_fraction=float(counts[1]),
+        overcast_fraction=float(counts[2]),
+        mean_daily_energy_wh=float(trace.daily_energy().mean()),
+        mean_clearness=float(clearness.mean()),
+        midday_step_variability=float(steps.mean()),
+        peak_wm2=trace.peak,
+    )

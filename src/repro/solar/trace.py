@@ -1,0 +1,143 @@
+"""The :class:`SolarTrace` container.
+
+A trace is simply a 1-D array of non-negative power samples on a uniform
+time grid, together with its resolution.  Every other part of the
+reproduction (slotting, prediction, error evaluation, node simulation)
+consumes this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SolarTrace", "MINUTES_PER_DAY"]
+
+MINUTES_PER_DAY = 24 * 60
+
+
+@dataclass(frozen=True)
+class SolarTrace:
+    """One contiguous power time series at fixed resolution.
+
+    Attributes
+    ----------
+    values:
+        1-D float array of power samples (W/m^2 for raw irradiance, or W
+        after a harvester model).  Must be non-negative and cover an
+        integer number of days.
+    resolution_minutes:
+        Minutes between consecutive samples; must divide a day evenly.
+    name:
+        Optional human-readable label (site code).
+    """
+
+    values: np.ndarray
+    resolution_minutes: int
+    name: str = ""
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1:
+            raise ValueError(f"values must be 1-D, got shape {values.shape}")
+        if self.resolution_minutes <= 0 or MINUTES_PER_DAY % self.resolution_minutes:
+            raise ValueError(
+                f"resolution_minutes must divide {MINUTES_PER_DAY}; "
+                f"got {self.resolution_minutes}"
+            )
+        spd = MINUTES_PER_DAY // self.resolution_minutes
+        if values.size == 0 or values.size % spd:
+            raise ValueError(
+                f"trace length {values.size} is not a whole number of days "
+                f"at {self.resolution_minutes}-minute resolution ({spd}/day)"
+            )
+        if not np.isfinite(values).all():
+            raise ValueError("trace contains non-finite samples")
+        if (values < 0).any():
+            raise ValueError("trace contains negative power samples")
+        values.flags.writeable = False
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def samples_per_day(self) -> int:
+        """Number of samples in each day."""
+        return MINUTES_PER_DAY // self.resolution_minutes
+
+    @property
+    def n_days(self) -> int:
+        """Number of whole days in the trace."""
+        return self.values.size // self.samples_per_day
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples."""
+        return self.values.size
+
+    def as_days(self) -> np.ndarray:
+        """Read-only view shaped ``(n_days, samples_per_day)``."""
+        return self.values.reshape(self.n_days, self.samples_per_day)
+
+    def day(self, index: int) -> np.ndarray:
+        """Samples of one day (0-based index; negative indices allowed)."""
+        return self.as_days()[index]
+
+    def select_days(self, start: int, stop: Optional[int] = None) -> "SolarTrace":
+        """New trace containing days ``start:stop`` (0-based, half-open)."""
+        days = self.as_days()[start:stop]
+        if days.size == 0:
+            raise ValueError(f"day slice [{start}:{stop}] selects no days")
+        return SolarTrace(
+            values=days.reshape(-1).copy(),
+            resolution_minutes=self.resolution_minutes,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution / statistics helpers
+    # ------------------------------------------------------------------
+    def downsample(self, factor: int) -> "SolarTrace":
+        """Keep every ``factor``-th sample (decimation, not averaging).
+
+        This mimics what a node sampling its harvester less often would
+        actually see, which is how the paper derives coarser N from the
+        native trace.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if self.samples_per_day % factor:
+            raise ValueError(
+                f"factor {factor} does not divide samples_per_day "
+                f"{self.samples_per_day}"
+            )
+        return SolarTrace(
+            values=self.values[::factor].copy(),
+            resolution_minutes=self.resolution_minutes * factor,
+            name=self.name,
+        )
+
+    @property
+    def peak(self) -> float:
+        """Largest sample in the trace."""
+        return float(self.values.max())
+
+    def daily_energy(self) -> np.ndarray:
+        """Energy received each day in W*h units per unit area.
+
+        ``sum(power) * dt`` with ``dt`` in hours.
+        """
+        dt_hours = self.resolution_minutes / 60.0
+        return self.as_days().sum(axis=1) * dt_hours
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    def __repr__(self) -> str:
+        return (
+            f"SolarTrace(name={self.name!r}, days={self.n_days}, "
+            f"resolution={self.resolution_minutes}min, peak={self.peak:.1f})"
+        )

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Traces used by tests are deliberately short (tens of days) so the whole
+suite stays fast; the full 365-day reproductions live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solar.clearsky import clearsky_profile
+from repro.solar.datasets import build_dataset
+from repro.solar.sites import get_site
+from repro.solar.trace import SolarTrace
+
+
+@pytest.fixture(scope="session")
+def hsu_trace():
+    """30 synthetic days of the HSU (variable) site at 1-minute resolution."""
+    return build_dataset("HSU", n_days=30)
+
+
+@pytest.fixture(scope="session")
+def spmd_trace():
+    """30 synthetic days of the SPMD (5-minute) site."""
+    return build_dataset("SPMD", n_days=30)
+
+
+@pytest.fixture(scope="session")
+def pfci_trace():
+    """45 synthetic days of the PFCI (sunny) site."""
+    return build_dataset("PFCI", n_days=45)
+
+
+@pytest.fixture(scope="session")
+def clearsky_trace():
+    """30 cloud-free days (deterministic, smooth) at 5-minute resolution."""
+    site = get_site("PFCI")
+    days = [
+        clearsky_profile(site.latitude_deg, day, 288) for day in range(1, 31)
+    ]
+    return SolarTrace(np.concatenate(days), 5, "clearsky")
+
+
+@pytest.fixture(scope="session")
+def repeating_day_trace():
+    """30 identical days: a triangular bump over slots, 288 samples/day.
+
+    Every day repeats exactly, so mu_D equals the day profile, eta == 1
+    in daylight, Phi == 1, and WCMA predictions are hand-computable.
+    """
+    samples = np.zeros(288)
+    # Daylight between samples 72 (06:00) and 216 (18:00), triangular.
+    up = np.linspace(0.0, 800.0, 72, endpoint=False)
+    down = np.linspace(800.0, 0.0, 72, endpoint=False)
+    samples[72:144] = up
+    samples[144:216] = down
+    return SolarTrace(np.tile(samples, 30), 5, "repeating")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for property-ish randomised tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,107 @@
+"""Tests for the predictor protocol and DayHistory ring buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import DayHistory
+from repro.core.baselines import PersistencePredictor
+
+
+class TestDayHistory:
+    def test_initially_empty(self):
+        history = DayHistory(n_slots=4, depth=3)
+        assert history.n_complete_days == 0
+        assert history.total_days_completed == 0
+        assert history.current_slot == 0
+        assert np.isnan(history.slot_mean(0))
+
+    def test_day_completion(self):
+        history = DayHistory(n_slots=3, depth=2)
+        for value in (1.0, 2.0, 3.0):
+            history.push_slot(value)
+        assert history.n_complete_days == 1
+        assert history.current_slot == 0
+        assert history.slot_mean(1) == 2.0
+
+    def test_ring_eviction(self):
+        history = DayHistory(n_slots=2, depth=2)
+        for day_value in (10.0, 20.0, 30.0):  # three days of constant value
+            history.push_slot(day_value)
+            history.push_slot(day_value)
+        # Only the last two days (20, 30) are retained.
+        assert history.n_complete_days == 2
+        assert history.total_days_completed == 3
+        assert history.slot_mean(0) == 25.0
+
+    def test_slot_mean_with_partial_depth(self):
+        history = DayHistory(n_slots=1, depth=5)
+        history.push_slot(10.0)
+        history.push_slot(20.0)
+        assert history.slot_mean(0) == 15.0
+        assert history.slot_mean(0, depth=1) == 20.0
+
+    def test_slot_column_order_oldest_first(self):
+        history = DayHistory(n_slots=1, depth=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            history.push_slot(v)
+        assert history.slot_column(0).tolist() == [2.0, 3.0, 4.0]
+
+    def test_slot_wraps_modulo_n(self):
+        history = DayHistory(n_slots=4, depth=1)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            history.push_slot(v)
+        assert history.slot_mean(5) == history.slot_mean(1)
+
+    def test_reset(self):
+        history = DayHistory(n_slots=2, depth=2)
+        history.push_slot(1.0)
+        history.push_slot(2.0)
+        history.reset()
+        assert history.n_complete_days == 0
+        assert history.current_slot == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            DayHistory(n_slots=0, depth=1)
+        with pytest.raises(ValueError):
+            DayHistory(n_slots=1, depth=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        depth=st.integers(1, 5),
+        n_slots=st.integers(1, 6),
+        n_values=st.integers(1, 80),
+        seed=st.integers(0, 1000),
+    )
+    def test_ring_matches_reference_model(self, depth, n_slots, n_values, seed):
+        """Property: slot_mean always equals a plain-list reference."""
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0, 100, n_values)
+        history = DayHistory(n_slots=n_slots, depth=depth)
+        completed = []
+        current = []
+        for value in values:
+            history.push_slot(float(value))
+            current.append(float(value))
+            if len(current) == n_slots:
+                completed.append(current)
+                current = []
+        recent = completed[-depth:]
+        if not recent:
+            assert np.isnan(history.slot_mean(0))
+        else:
+            for slot in range(n_slots):
+                expect = np.mean([day[slot] for day in recent])
+                assert history.slot_mean(slot) == pytest.approx(expect)
+
+
+class TestOnlinePredictorRun:
+    def test_run_feeds_in_order(self):
+        predictor = PersistencePredictor(4)
+        samples = np.array([1.0, 2.0, 3.0])
+        assert predictor.run(samples).tolist() == [1.0, 2.0, 3.0]
+
+    def test_run_rejects_2d(self):
+        with pytest.raises(ValueError):
+            PersistencePredictor(4).run(np.zeros((2, 2)))

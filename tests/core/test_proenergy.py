@@ -1,0 +1,106 @@
+"""Tests for the Pro-Energy-style profile-matching predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.proenergy import ProEnergyPredictor
+from repro.metrics.evaluate import evaluate_predictor
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(0)
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(48, pool_size=0)
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(48, window=0)
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(48, window=49)
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(48, alpha=1.5)
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(48, pool_size=3, top_k=4)
+
+    def test_memory_model(self):
+        predictor = ProEnergyPredictor(48, pool_size=10)
+        assert predictor.memory_bytes() == 10 * 48 * 2
+        with pytest.raises(ValueError):
+            predictor.memory_bytes(bytes_per_sample=0)
+
+
+class TestBehaviour:
+    def test_warmup_is_persistence(self):
+        predictor = ProEnergyPredictor(4, pool_size=2, top_k=1)
+        assert predictor.observe(10.0) == 10.0
+        assert predictor.stored_profiles == 0
+
+    def test_pool_fills_and_evicts(self):
+        predictor = ProEnergyPredictor(2, pool_size=2, window=2, top_k=1)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            predictor.observe(value)
+        assert predictor.stored_profiles == 2  # day 1 evicted
+
+    def test_matches_identical_days_exactly_at_alpha0(self):
+        profile = [0.0, 100.0, 200.0, 100.0]
+        predictor = ProEnergyPredictor(4, pool_size=3, window=2, alpha=0.0, top_k=1)
+        predictions = []
+        for _ in range(5):
+            for value in profile:
+                predictions.append(predictor.observe(value))
+        # Day 4, slot 1 -> stored profile's slot 2 = 200 exactly.
+        assert predictions[17] == pytest.approx(200.0)
+
+    def test_selects_most_similar_profile(self):
+        """Given a bright and a dark stored day, a bright morning must
+        predict from the bright profile."""
+        n = 4
+        bright = [0.0, 200.0, 400.0, 200.0]
+        dark = [0.0, 50.0, 100.0, 50.0]
+        predictor = ProEnergyPredictor(n, pool_size=2, window=2, alpha=0.0, top_k=1)
+        for day in (dark, bright):
+            for value in day:
+                predictor.observe(value)
+        # New day tracking the bright profile.
+        predictor.observe(0.0)
+        prediction = predictor.observe(200.0)  # slot 1 -> predict slot 2
+        assert prediction == pytest.approx(400.0)
+
+    def test_top_k_averages(self):
+        n = 4
+        day_a = [0.0, 100.0, 300.0, 100.0]
+        day_b = [0.0, 100.0, 100.0, 100.0]
+        predictor = ProEnergyPredictor(n, pool_size=2, window=1, alpha=0.0, top_k=2)
+        for day in (day_a, day_b):
+            for value in day:
+                predictor.observe(value)
+        predictor.observe(0.0)
+        prediction = predictor.observe(100.0)
+        assert prediction == pytest.approx(200.0)  # mean of 300 and 100
+
+    def test_reset(self):
+        predictor = ProEnergyPredictor(2, pool_size=2, window=2)
+        seq = [5.0, 10.0, 20.0, 40.0]
+        first = [predictor.observe(v) for v in seq]
+        predictor.reset()
+        second = [predictor.observe(v) for v in seq]
+        assert first == second
+        assert predictor.stored_profiles == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ProEnergyPredictor(4).observe(-1.0)
+
+
+class TestAccuracy:
+    def test_competitive_on_real_shaped_data(self, hsu_trace):
+        """Pro-Energy lands between persistence and WCMA territory."""
+        run = evaluate_predictor(ProEnergyPredictor(48), hsu_trace, 48)
+        assert 0.0 < run.mape < 0.35
+
+    def test_beats_previous_day_baseline(self, hsu_trace):
+        from repro.core.baselines import PreviousDayPredictor
+
+        proenergy = evaluate_predictor(ProEnergyPredictor(48), hsu_trace, 48)
+        previous = evaluate_predictor(PreviousDayPredictor(48), hsu_trace, 48)
+        assert proenergy.mape < previous.mape

@@ -1,0 +1,39 @@
+"""Tests for the predictor registry."""
+
+import pytest
+
+from repro.core.baselines import PersistencePredictor
+from repro.core.registry import available_predictors, make_predictor, register
+from repro.core.wcma import WCMAPredictor
+
+
+class TestRegistry:
+    def test_defaults_registered(self):
+        names = available_predictors()
+        for expected in ("wcma", "ewma", "persistence", "previous-day", "moving-average"):
+            assert expected in names
+
+    def test_make_wcma_with_kwargs(self):
+        predictor = make_predictor("wcma", 48, alpha=0.5, days=7, k=3)
+        assert isinstance(predictor, WCMAPredictor)
+        assert predictor.params.alpha == 0.5
+        assert predictor.params.days == 7
+        assert predictor.params.k == 3
+
+    def test_case_insensitive(self):
+        assert isinstance(make_predictor("WCMA", 24), WCMAPredictor)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown predictor"):
+            make_predictor("nope", 48)
+
+    def test_register_new_and_reject_duplicates(self):
+        register("test-custom", lambda n_slots: PersistencePredictor(n_slots))
+        try:
+            assert isinstance(make_predictor("test-custom", 8), PersistencePredictor)
+            with pytest.raises(ValueError, match="already registered"):
+                register("test-custom", lambda n_slots: PersistencePredictor(n_slots))
+        finally:
+            from repro.core import registry
+
+            registry._FACTORIES.pop("test-custom", None)

@@ -1,0 +1,218 @@
+"""Tests for the experiment modules (reduced-size shape checks).
+
+Full-scale (365-day) reproductions live in benchmarks/; here each
+experiment runs on short traces and we assert structure plus the
+paper's qualitative claims that survive small samples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5
+from repro.experiments.common import (
+    ExperimentResult,
+    batch_for,
+    format_table,
+    sites_for,
+    supported_n_for_site,
+)
+from repro.experiments.runner import EXPERIMENTS, render_report, run_all
+
+DAYS = 45
+SITES = ("HSU", "PFCI")
+
+
+class TestCommon:
+    def test_sites_for_default(self):
+        assert sites_for(None) == ("SPMD", "ECSU", "ORNL", "HSU", "NPCS", "PFCI")
+
+    def test_sites_for_normalises(self):
+        assert sites_for(["pfci"]) == ("PFCI",)
+
+    def test_sites_for_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            sites_for(["XX"])
+
+    def test_supported_n(self):
+        assert supported_n_for_site("SPMD", (288, 96, 24)) == (288, 96, 24)
+        assert supported_n_for_site("SPMD", (1440,)) == ()
+        assert supported_n_for_site("ORNL", (1440, 288)) == (1440, 288)
+
+    def test_batch_for_cached(self):
+        a = batch_for("PFCI", DAYS, 24)
+        b = batch_for("pfci", DAYS, 24)
+        assert a is b
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert len(lines) == 4
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_result_render_and_column(self):
+        result = ExperimentResult(
+            experiment="x",
+            title="t",
+            headers=["a"],
+            rows=[{"a": 1.0}, {"a": None}],
+        )
+        text = result.render()
+        assert "X: t" in text
+        assert "n/a" in text
+        assert result.column("a") == [1.0, None]
+        with pytest.raises(KeyError):
+            result.column("zz")
+
+
+class TestTable1:
+    def test_rows_match_paper_geometry(self):
+        result = table1.run(n_days=DAYS)
+        assert len(result.rows) == 6
+        by_site = {row["data_set"]: row for row in result.rows}
+        assert by_site["SPMD"]["observations"] == 288 * DAYS
+        assert by_site["ORNL"]["observations"] == 1440 * DAYS
+        assert by_site["PFCI"]["resolution"] == "1 minutes"
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(n_days=DAYS, sites=SITES)
+
+    def test_mape_below_mape_prime(self, result):
+        """The paper's central Table II claim."""
+        for row in result.rows:
+            assert row["mape"] < row["mape_prime"]
+
+    def test_mape_alpha_higher(self, result):
+        for row in result.rows:
+            assert row["alpha"] >= row["alpha_prime"]
+
+    def test_row_per_site(self, result):
+        assert [r["data_set"] for r in result.rows] == list(SITES)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(n_days=DAYS, sites=("PFCI",), n_values=(96, 48, 24))
+
+    def test_mape_decreases_with_n(self, result):
+        rows = {row["n"]: row for row in result.rows}
+        assert rows[96]["mape"] < rows[48]["mape"] < rows[24]["mape"]
+
+    def test_alpha_rises_with_n(self, result):
+        rows = {row["n"]: row for row in result.rows}
+        assert rows[96]["alpha"] >= rows[24]["alpha"]
+
+    def test_k2_close_to_optimum(self, result):
+        for row in result.rows:
+            if row["mape_k2"] is not None:
+                assert row["mape_k2"] >= row["mape"]
+                assert row["mape_k2"] - row["mape"] < 0.02
+
+    def test_five_minute_site_skips_unsupported_n(self):
+        result = table3.run(n_days=DAYS, sites=("SPMD",), n_values=(1440, 48))
+        assert [row["n"] for row in result.rows] == [48]
+
+    def test_alpha1_exact_at_native_resolution(self):
+        """The 0-dagger entries: N == native samples/day on a 5-minute
+        site makes alpha=1 exact."""
+        result = table3.run(n_days=DAYS, sites=("SPMD",), n_values=(288,))
+        row = result.rows[0]
+        assert row["alpha"] == 1.0
+        assert row["mape"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTable4:
+    def test_matches_paper_exactly(self):
+        result = table4.run()
+        values = {r["hardware_activity"]: r["energy"] for r in result.rows}
+        assert values["A/D conversion"] == "55.0 uJ"
+        assert values["A/D conversion + Prediction (K=1, alpha=0.7)"] == "58.6 uJ"
+        assert values["A/D conversion + Prediction (K=7, alpha=0.7)"] == "63.4 uJ"
+        assert values["A/D conversion + Prediction (K=7, alpha=0.0)"] == "61.5 uJ"
+        assert values["Low power (sleep) mode"] == "356 mJ per day"
+        assert "2640" in values["A/D conversion 48 samples per day @55uJ"]
+        assert "2880" in values["A/D conversion + prediction 48 times per day @60uJ"]
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table5.run(n_days=DAYS, sites=("HSU",), n_values=(48, 24))
+
+    def test_ordering_of_modes(self, result):
+        for row in result.rows:
+            assert row["both_mape"] <= row["alpha_only_mape"] + 1e-12
+            assert row["alpha_only_mape"] <= row["k_only_mape"] + 1e-12
+            assert row["k_only_mape"] <= row["static_mape"] + 1e-12
+
+    def test_default_sites_are_papers_four(self):
+        assert table5.DYNAMIC_SITES == ("SPMD", "ECSU", "ORNL", "HSU")
+
+
+class TestFigures:
+    def test_fig2_series_shape(self):
+        data = fig2.series(site="HSU", start_day=20, n_figure_days=6, n_days=DAYS)
+        assert data.shape == (6, 288)
+        assert (data >= 0).all()
+
+    def test_fig2_run_rows(self):
+        result = fig2.run(site="HSU", start_day=20, n_days=DAYS)
+        assert len(result.rows) == 6
+        assert result.rows[0]["day"] == 21
+
+    def test_fig2_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            fig2.series(site="HSU", start_day=44, n_figure_days=6, n_days=DAYS)
+
+    def test_fig6_exact_paper_numbers(self):
+        result = fig6.run()
+        percents = {r["n"]: r["overhead_percent"] for r in result.rows}
+        assert percents[288] == pytest.approx(4.85, abs=0.01)
+        assert percents[48] == pytest.approx(0.81, abs=0.01)
+
+    def test_fig7_flattens(self):
+        result = fig7.run(n_days=DAYS, sites=("HSU",), days_grid=tuple(range(2, 16)))
+        errors = [row["mape"] for row in result.rows]
+        # Early drop is much larger than late drop.
+        early_gain = errors[0] - errors[4]
+        late_gain = abs(errors[8] - errors[-1])
+        assert early_gain > late_gain
+
+    def test_fig7_series_keys(self):
+        curves = fig7.series(n_days=DAYS, sites=SITES, days_grid=(2, 5, 8))
+        assert set(curves) == set(SITES)
+        assert all(len(v) == 3 for v in curves.values())
+
+
+class TestRunner:
+    def test_run_subset(self):
+        results = run_all(n_days=DAYS, sites=("PFCI",), only=("table1", "fig6"))
+        assert set(results) == {"table1", "fig6"}
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_all(only=("table9",))
+
+    def test_render_report_contains_all(self):
+        results = run_all(n_days=DAYS, sites=("PFCI",), only=("table1", "table4"))
+        report = render_report(results)
+        assert "TABLE1" in report and "TABLE4" in report
+
+    def test_experiment_ids(self):
+        assert EXPERIMENTS == (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig2",
+            "fig6",
+            "fig7",
+        )

@@ -1,0 +1,154 @@
+"""Tests for the MCU, ADC and energy accounting models (Table IV, Fig. 6)."""
+
+import pytest
+
+from repro.hardware.adc import SamplingSequence
+from repro.hardware.cycles import (
+    ALPHA_ZERO_SAVING_CYCLES,
+    FLOAT_COSTS,
+    PER_K_CYCLES,
+    Q15_COSTS,
+    arithmetic_cycles,
+    history_memory_bytes,
+    prediction_cycles,
+)
+from repro.hardware.energy import (
+    ADC_EVENT_ENERGY_J,
+    EnergyBudget,
+    adc_energy_per_sample,
+    daily_energy,
+    overhead_fraction,
+    prediction_energy,
+)
+from repro.hardware.mcu import MCUPowerModel, MSP430F1611
+
+
+class TestMCU:
+    def test_sleep_calibrated_to_paper(self):
+        assert MSP430F1611.sleep_energy_per_day() == pytest.approx(356e-3)
+
+    def test_sleep_current_rounds_to_datasheet(self):
+        assert MSP430F1611.sleep_current_amps == pytest.approx(1.4e-6, abs=0.05e-6)
+
+    def test_energy_per_cycle(self):
+        # 3 V * 2.5 mA / 5 MHz = 1.5 nJ.
+        assert MSP430F1611.energy_per_cycle_joules == pytest.approx(1.5e-9)
+
+    def test_active_energy(self):
+        assert MSP430F1611.active_energy(1000) == pytest.approx(1.5e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCUPowerModel("x", 0.0, 1e6, 1e-3, 1e-6, 1e-3, 1e-3)
+        with pytest.raises(ValueError):
+            MSP430F1611.active_energy(-1)
+        with pytest.raises(ValueError):
+            MSP430F1611.sleep_energy(-1.0)
+
+
+class TestSamplingSequence:
+    def test_total_close_to_measured(self):
+        seq = SamplingSequence()
+        assert seq.total_energy() == pytest.approx(55e-6, rel=0.05)
+
+    def test_vref_dominates(self):
+        seq = SamplingSequence()
+        assert seq.vref_energy() > 10 * seq.conversion_energy()
+        assert seq.vref_energy() > 10 * seq.cpu_overhead_energy()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingSequence(vref_settle_seconds=-1.0)
+
+
+class TestPredictionCycles:
+    def test_linear_in_k(self):
+        assert (
+            prediction_cycles(5) - prediction_cycles(4) == PER_K_CYCLES
+        )
+
+    def test_alpha_zero_saving(self):
+        assert (
+            prediction_cycles(7) - prediction_cycles(7, alpha_zero=True)
+            == ALPHA_ZERO_SAVING_CYCLES
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            prediction_cycles(0)
+
+    def test_q15_cheaper_than_float(self):
+        assert arithmetic_cycles(3, Q15_COSTS) < arithmetic_cycles(3, FLOAT_COSTS) / 4
+
+
+class TestTableIVAnchors:
+    """The hardware model must reproduce every measured number in Table IV."""
+
+    def test_adc_55uj(self):
+        assert adc_energy_per_sample() == 55e-6
+
+    def test_prediction_k1_a07(self):
+        total = (ADC_EVENT_ENERGY_J + prediction_energy(1, 0.7)) * 1e6
+        assert total == pytest.approx(58.6, abs=0.05)
+
+    def test_prediction_k7_a07(self):
+        total = (ADC_EVENT_ENERGY_J + prediction_energy(7, 0.7)) * 1e6
+        assert total == pytest.approx(63.4, abs=0.05)
+
+    def test_prediction_k7_a00(self):
+        total = (ADC_EVENT_ENERGY_J + prediction_energy(7, 0.0)) * 1e6
+        assert total == pytest.approx(61.5, abs=0.05)
+
+    def test_daily_sampling_2640uj(self):
+        assert daily_energy(48, include_prediction=False) * 1e6 == pytest.approx(2640)
+
+    def test_daily_total_2880uj(self):
+        assert daily_energy(48) * 1e6 == pytest.approx(2880)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prediction_energy(1, 1.5)
+        with pytest.raises(ValueError):
+            daily_energy(0)
+        with pytest.raises(ValueError):
+            daily_energy(48, k_param=3)  # alpha missing
+
+
+class TestFig6:
+    @pytest.mark.parametrize(
+        "n,expected_percent",
+        [(288, 4.85), (96, 1.62), (72, 1.21), (48, 0.81), (24, 0.40)],
+    )
+    def test_overhead_matches_paper(self, n, expected_percent):
+        assert overhead_fraction(n) * 100 == pytest.approx(expected_percent, abs=0.01)
+
+    def test_monotone_in_n(self):
+        values = [overhead_fraction(n) for n in (24, 48, 72, 96, 288)]
+        assert values == sorted(values)
+
+
+class TestEnergyBudget:
+    def test_for_configuration(self):
+        budget = EnergyBudget.for_configuration(48, 2, 0.7)
+        assert budget.total_per_day == pytest.approx(
+            48 * (budget.adc_event + budget.prediction_event)
+        )
+        assert budget.overhead == pytest.approx(
+            budget.total_per_day / budget.sleep_per_day
+        )
+        assert budget.sampling_per_day < budget.total_per_day
+
+
+class TestMemory:
+    def test_history_memory(self):
+        # D=20, N=96, 2 B/sample: 3840 B history + 384 B sums + 2 B ratios.
+        assert history_memory_bytes(20, 96, k_param=1) == 3840 + 384 + 2
+
+    def test_guideline_d10_fits_msp430_ram(self):
+        assert history_memory_bytes(10, 96, k_param=2) < 10 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            history_memory_bytes(0, 48)
+        with pytest.raises(ValueError):
+            history_memory_bytes(10, 48, bytes_per_sample=0)

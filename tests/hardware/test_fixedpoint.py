@@ -1,0 +1,91 @@
+"""Tests for the Q15 fixed-point WCMA implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.wcma import WCMAParams, WCMAPredictor
+from repro.hardware.fixedpoint import FixedPointWCMA, Q15, Q15_MAX
+from repro.metrics.evaluate import evaluate_predictor
+
+
+class TestQ15Helpers:
+    def test_round_trip_exact_codes(self):
+        for code in (0, 1, 16384, Q15_MAX):
+            assert Q15.from_float(Q15.to_float(code)) == code
+
+    def test_saturation(self):
+        assert Q15.from_float(2.0) == Q15_MAX
+        assert Q15.from_float(-1.0) == 0
+
+    def test_mul(self):
+        half = Q15.from_float(0.5)
+        quarter = Q15.mul(half, half)
+        assert Q15.to_float(quarter) == pytest.approx(0.25, abs=1e-4)
+
+    def test_div(self):
+        q = Q15.div(Q15.from_float(0.25), Q15.from_float(0.5))
+        assert Q15.to_float(q) == pytest.approx(0.5, abs=1e-4)
+
+    def test_div_by_zero_saturates(self):
+        assert Q15.div(100, 0) == Q15_MAX
+
+    @given(st.floats(0.0, 1.0))
+    def test_quantisation_error_bounded(self, value):
+        code = Q15.from_float(value)
+        assert abs(Q15.to_float(code) - value) <= 1.0 / (1 << 15)
+
+
+class TestFixedPointWCMA:
+    def test_quantise_dequantise(self):
+        predictor = FixedPointWCMA(48, WCMAParams(0.7, 5, 2), full_scale_watts=1500)
+        for watts in (0.0, 750.0, 1500.0):
+            code = predictor.quantise(watts)
+            assert predictor.dequantise(code) == pytest.approx(watts, abs=0.05)
+
+    def test_saturates_above_full_scale(self):
+        predictor = FixedPointWCMA(48, WCMAParams(0.7, 5, 2), full_scale_watts=1000)
+        assert predictor.quantise(5000.0) == Q15_MAX
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointWCMA(0, WCMAParams(0.7, 5, 2))
+        with pytest.raises(ValueError):
+            FixedPointWCMA(48, WCMAParams(0.7, 5, 2), full_scale_watts=0.0)
+        with pytest.raises(ValueError):
+            FixedPointWCMA(48, WCMAParams(0.7, 5, 2), eta_floor_fraction=1.0)
+        predictor = FixedPointWCMA(48, WCMAParams(0.7, 5, 2))
+        with pytest.raises(ValueError):
+            predictor.observe(-1.0)
+
+    def test_tracks_float_closely_per_step(self, repeating_day_trace):
+        """On noiseless repeating days, Q15 predictions stay within a
+        fraction of a percent of full scale from the float ones."""
+        params = WCMAParams(0.7, 5, 2)
+        flt = WCMAPredictor(48, params)
+        q15 = FixedPointWCMA(48, params, full_scale_watts=1000.0)
+        starts = repeating_day_trace.as_days()[:, ::6].reshape(-1)
+        worst = 0.0
+        for value in starts:
+            worst = max(worst, abs(flt.observe(float(value)) - q15.observe(float(value))))
+        assert worst < 5.0  # 0.5 % of the 1000 W full scale
+
+    def test_mape_close_to_float(self, hsu_trace):
+        params = WCMAParams(0.7, 7, 2)
+        flt = evaluate_predictor(WCMAPredictor(48, params), hsu_trace, 48)
+        q15 = evaluate_predictor(FixedPointWCMA(48, params), hsu_trace, 48)
+        assert q15.mape == pytest.approx(flt.mape, abs=0.005)
+
+    def test_reset(self):
+        predictor = FixedPointWCMA(2, WCMAParams(0.5, 2, 1))
+        seq = [10.0, 400.0] * 5
+        first = [predictor.observe(v) for v in seq]
+        predictor.reset()
+        second = [predictor.observe(v) for v in seq]
+        assert first == second
+
+    def test_predictions_bounded_by_full_scale(self, hsu_trace):
+        predictor = FixedPointWCMA(48, WCMAParams(0.3, 5, 3), full_scale_watts=1200)
+        starts = hsu_trace.as_days()[:10, :: 30].reshape(-1)
+        for value in starts:
+            assert 0.0 <= predictor.observe(float(value)) <= 1200.0

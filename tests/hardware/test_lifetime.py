@@ -1,0 +1,92 @@
+"""Tests for battery-lifetime and energy-budget planning."""
+
+import pytest
+
+from repro.hardware.lifetime import (
+    battery_lifetime_days,
+    node_daily_energy,
+    required_panel_area,
+    sampling_rate_for_budget,
+)
+from repro.hardware.mcu import MSP430F1611
+from repro.management.consumer import DutyCycledLoad
+
+LOAD = DutyCycledLoad(
+    active_power_watts=60e-3, sleep_power_watts=30e-6, min_duty=0.0
+)
+
+
+class TestNodeDailyEnergy:
+    def test_zero_duty_is_management_plus_sleep_load(self):
+        energy = node_daily_energy(48, 0.0, load=LOAD)
+        management = MSP430F1611.sleep_energy_per_day() + 2880e-6
+        load_sleep = 30e-6 * 86_400
+        assert energy == pytest.approx(management + load_sleep, rel=1e-6)
+
+    def test_duty_dominates_at_high_duty(self):
+        low = node_daily_energy(48, 0.01, load=LOAD)
+        high = node_daily_energy(48, 0.5, load=LOAD)
+        assert high > 10 * low
+
+    def test_explicit_prediction_parameters(self):
+        default = node_daily_energy(48, 0.1, load=LOAD)
+        cheap = node_daily_energy(48, 0.1, load=LOAD, k_param=1, alpha=0.7)
+        assert cheap < default  # K=1 costs 3.6 uJ < the typical 5 uJ
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_daily_energy(48, 1.5)
+
+
+class TestBatteryLifetime:
+    def test_aa_pair_at_low_duty(self):
+        # 64.8 kJ pair at 1% duty of a 60 mW load: load ~82 J/day
+        # dominates the 0.36 J/day management -> months of life.
+        days = battery_lifetime_days(64_800.0, 48, 0.01, load=LOAD)
+        assert 300 < days < 1200
+
+    def test_scales_linearly_with_capacity(self):
+        one = battery_lifetime_days(1000.0, 48, 0.1, load=LOAD)
+        two = battery_lifetime_days(2000.0, 48, 0.1, load=LOAD)
+        assert two == pytest.approx(2 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            battery_lifetime_days(0.0, 48, 0.1)
+
+
+class TestPanelSizing:
+    def test_reasonable_area_for_mote(self):
+        # 5 kWh/m2/day site, 10% duty of the 60 mW load.
+        area = required_panel_area(48, 0.10, 5000.0, load=LOAD)
+        assert 0.0002 < area < 0.05  # between 2 cm^2 and 500 cm^2
+
+    def test_margin_scales_area(self):
+        base = required_panel_area(48, 0.1, 5000.0, load=LOAD, margin=1.0)
+        double = required_panel_area(48, 0.1, 5000.0, load=LOAD, margin=2.0)
+        assert double == pytest.approx(2 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_panel_area(48, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            required_panel_area(48, 0.1, 5000.0, margin=0.5)
+
+
+class TestSamplingRateForBudget:
+    def test_generous_harvest_allows_n288(self):
+        # Fig. 6 arithmetic: N=288 costs 17.28 mJ/day.
+        assert sampling_rate_for_budget(10.0, overhead_budget=0.01) == 288
+
+    def test_tight_harvest_forces_small_n(self):
+        # 0.2 J/day at 1% budget -> 2 mJ/day: only N=24 (1.44 mJ) fits.
+        assert sampling_rate_for_budget(0.2, overhead_budget=0.01) == 24
+
+    def test_impossible_budget_returns_none(self):
+        assert sampling_rate_for_budget(0.01, overhead_budget=0.01) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampling_rate_for_budget(0.0)
+        with pytest.raises(ValueError):
+            sampling_rate_for_budget(1.0, overhead_budget=0.0)

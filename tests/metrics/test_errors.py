@@ -1,0 +1,115 @@
+"""Tests for per-slot error definitions and aggregate error functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.errors import (
+    mae,
+    mape,
+    mbe,
+    percentage_errors,
+    rmse,
+    slot_errors,
+    slot_errors_prime,
+)
+
+
+class TestSlotErrors:
+    def test_eq7_definition(self):
+        mean = np.array([10.0, 20.0])
+        pred = np.array([8.0, 25.0])
+        assert slot_errors(mean, pred).tolist() == [2.0, -5.0]
+
+    def test_eq6_definition(self):
+        nxt = np.array([12.0, 18.0])
+        pred = np.array([10.0, 20.0])
+        assert slot_errors_prime(nxt, pred).tolist() == [2.0, -2.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            slot_errors(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            slot_errors_prime(np.zeros(3), np.zeros(4))
+
+
+class TestMape:
+    def test_simple_value(self):
+        error = np.array([1.0, -2.0])
+        reference = np.array([10.0, 10.0])
+        assert mape(error, reference) == pytest.approx(0.15)
+
+    def test_mask_applied(self):
+        error = np.array([1.0, 100.0])
+        reference = np.array([10.0, 10.0])
+        mask = np.array([True, False])
+        assert mape(error, reference, mask) == pytest.approx(0.10)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError, match="zeros"):
+            mape(np.array([1.0]), np.array([0.0]))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.array([1.0]), np.array([2.0]), np.array([False]))
+
+    @given(
+        scale=st.floats(0.1, 1000.0),
+        values=arrays(
+            float,
+            10,
+            elements=st.floats(1.0, 100.0),
+        ),
+    )
+    def test_scale_invariance(self, scale, values):
+        """MAPE is independent of the data scale (the paper's argument
+        for preferring it over RMSE/MAE)."""
+        error = values * 0.1
+        base = mape(error, values)
+        scaled = mape(error * scale, values * scale)
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+
+class TestOtherAggregates:
+    def test_mae(self):
+        assert mae(np.array([1.0, -3.0])) == pytest.approx(2.0)
+
+    def test_mbe_signed(self):
+        assert mbe(np.array([1.0, -3.0])) == pytest.approx(-1.0)
+
+    def test_rmse(self):
+        assert rmse(np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        error = np.array([0.5, -2.0, 3.0, -0.1])
+        assert rmse(error) >= mae(error)
+
+    def test_rmse_outlier_sensitivity(self):
+        """The paper's reason to avoid RMSE: one outlier dominates."""
+        calm = np.full(99, 1.0)
+        with_outlier = np.append(calm, 100.0)
+        assert rmse(with_outlier) / rmse(calm) > 5.0
+        assert mae(with_outlier) / mae(calm) < 2.1
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros(3), np.array([True]))
+
+    def test_empty_error(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]))
+
+
+class TestPercentageErrors:
+    def test_absolute_value(self):
+        out = percentage_errors(np.array([-5.0]), np.array([10.0]))
+        assert out.tolist() == [0.5]
+
+    def test_mask_filters(self):
+        out = percentage_errors(
+            np.array([1.0, 2.0]),
+            np.array([10.0, 10.0]),
+            np.array([False, True]),
+        )
+        assert out.tolist() == [0.2]

@@ -1,0 +1,84 @@
+"""Tests for the generic predictor evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import PersistencePredictor
+from repro.core.wcma import WCMAParams, WCMAPredictor
+from repro.metrics.evaluate import evaluate_predictor, score_predictions
+
+
+class TestScorePredictions:
+    def test_perfect_predictions_zero_error(self):
+        reference = np.tile(np.array([0.0, 50.0, 100.0, 50.0]), 25)
+        run = score_predictions(
+            predictions=reference.copy(),
+            reference_mean=reference,
+            reference_next_start=reference,
+            n_slots=4,
+            warmup_days=0,
+        )
+        assert run.mape == 0.0
+        assert run.mape_prime == 0.0
+        assert run.rmse_value == 0.0
+
+    def test_nan_predictions_excluded(self):
+        reference = np.tile(np.array([100.0, 100.0]), 20)
+        predictions = reference * 0.9
+        predictions[:10] = np.nan
+        run = score_predictions(
+            predictions, reference, reference, n_slots=2, warmup_days=0
+        )
+        assert run.n_scored == 30
+        assert run.mape == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            score_predictions(np.zeros(3), np.zeros(4), np.zeros(4), 2)
+
+    def test_mbe_sign(self):
+        reference = np.tile(np.array([100.0]), 40)
+        predictions = np.full(40, 110.0)  # over-prediction
+        run = score_predictions(
+            predictions, reference, reference, n_slots=1, warmup_days=0
+        )
+        assert run.mbe_value == pytest.approx(-10.0)
+
+
+class TestEvaluatePredictor:
+    def test_persistence_on_repeating_days(self, repeating_day_trace):
+        run = evaluate_predictor(
+            PersistencePredictor(48), repeating_day_trace, 48
+        )
+        # Persistence on a repeating triangular day: errors from the ramp
+        # only; finite and modest.
+        assert 0.0 < run.mape < 0.25
+
+    def test_wcma_alpha_zero_on_repeating_days(self, repeating_day_trace):
+        """With identical days, mu equals the profile, eta = 1 in the
+        bright region, so alpha=0 predicts the next boundary exactly; the
+        only error left is slot-mean vs boundary (the ramp lag)."""
+        predictor = WCMAPredictor(48, WCMAParams(alpha=0.0, days=5, k=2))
+        run = evaluate_predictor(predictor, repeating_day_trace, 48)
+        view_errors = np.abs(
+            run.predictions[run.mask_next] - run.reference_next_start[run.mask_next]
+        )
+        assert view_errors.max() < 1e-6  # exact boundary prediction
+        assert run.mape > 0.0  # but the slot mean still differs
+
+    def test_alpha_one_exact_when_one_sample_per_slot(self, repeating_day_trace):
+        """Table III's 0-dagger entries: M=1 and alpha=1 -> MAPE == 0."""
+        predictor = WCMAPredictor(288, WCMAParams(alpha=1.0, days=5, k=1))
+        run = evaluate_predictor(predictor, repeating_day_trace, 288)
+        assert run.mape == 0.0
+
+    def test_mask_counts_sane(self, hsu_trace):
+        run = evaluate_predictor(PersistencePredictor(48), hsu_trace, 48)
+        total = hsu_trace.n_days * 48 - 1
+        assert 0 < run.n_scored < total / 2  # night + warm-up excluded
+
+    def test_warmup_respected(self, hsu_trace):
+        run = evaluate_predictor(
+            PersistencePredictor(48), hsu_trace, 48, warmup_days=25
+        )
+        assert not run.mask_mean[: 25 * 48].any()

@@ -1,0 +1,62 @@
+"""Tests for the region-of-interest mask."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
+
+
+class TestRoiMask:
+    def test_threshold_at_ten_percent_of_peak(self):
+        reference = np.array([0.0, 5.0, 9.9, 10.0, 50.0, 100.0])
+        mask = roi_mask(reference, n_slots=1, warmup_days=0)
+        assert mask.tolist() == [False, False, False, True, True, True]
+
+    def test_explicit_peak(self):
+        reference = np.array([10.0, 50.0])
+        mask = roi_mask(reference, n_slots=1, peak=1000.0, warmup_days=0)
+        assert mask.tolist() == [False, False]
+
+    def test_warmup_days_masked(self):
+        reference = np.full(10, 100.0)
+        mask = roi_mask(reference, n_slots=2, warmup_days=3)
+        # 3 days x 2 slots = 6 leading samples masked.
+        assert mask.tolist() == [False] * 6 + [True] * 4
+
+    def test_warmup_longer_than_trace(self):
+        reference = np.full(4, 100.0)
+        mask = roi_mask(reference, n_slots=2, warmup_days=10)
+        assert not mask.any()
+
+    def test_defaults_match_paper(self):
+        assert DEFAULT_ROI_FRACTION == 0.10
+        assert DEFAULT_WARMUP_DAYS == 20
+
+    def test_night_always_excluded(self):
+        reference = np.zeros(100)
+        reference[50] = 500.0
+        mask = roi_mask(reference, n_slots=10, warmup_days=0)
+        assert mask.sum() == 1 and mask[50]
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            roi_mask(np.ones(4), 1, roi_fraction=0.0)
+        with pytest.raises(ValueError):
+            roi_mask(np.ones(4), 1, roi_fraction=1.0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            roi_mask(np.ones(4), 1, warmup_days=-1)
+
+    def test_rejects_dark_trace(self):
+        with pytest.raises(ValueError, match="peak"):
+            roi_mask(np.zeros(4), 1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            roi_mask(np.ones((2, 2)), 1)
+
+    def test_custom_fraction(self):
+        reference = np.array([10.0, 40.0, 100.0])
+        mask = roi_mask(reference, 1, roi_fraction=0.5, warmup_days=0)
+        assert mask.tolist() == [False, False, True]

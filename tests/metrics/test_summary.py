@@ -1,0 +1,82 @@
+"""Tests for the evaluation summary diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.wcma import WCMAParams, WCMAPredictor
+from repro.metrics.evaluate import evaluate_predictor, score_predictions
+from repro.metrics.summary import format_summary, summarise
+
+
+def perfect_run(n_slots=4, n_days=30, level=100.0):
+    reference = np.tile([0.0, level, 2 * level, level], n_days)[:-1]
+    return score_predictions(
+        predictions=reference.copy(),
+        reference_mean=reference,
+        reference_next_start=reference,
+        n_slots=n_slots,
+        warmup_days=0,
+    )
+
+
+class TestSummarise:
+    def test_perfect_run(self):
+        summary = summarise(perfect_run())
+        assert summary.mape == 0.0
+        assert summary.error_quantiles[0.9] == 0.0
+        assert summary.mean_over_prediction == 0.0
+        assert summary.mean_under_prediction == 0.0
+
+    def test_bias_split(self):
+        reference = np.tile([0.0, 100.0, 200.0, 100.0], 30)[:-1]
+        predictions = reference * 1.1  # always over-predicts
+        run = score_predictions(
+            predictions, reference, reference, n_slots=4, warmup_days=0
+        )
+        summary = summarise(run)
+        assert summary.over_prediction_fraction == 1.0
+        assert summary.mean_over_prediction > 0.0
+        assert summary.mape == pytest.approx(0.1)
+
+    def test_monthly_breakdown_spans_trace(self, hsu_trace):
+        run = evaluate_predictor(
+            WCMAPredictor(48, WCMAParams(0.7, 5, 2)), hsu_trace, 48
+        )
+        summary = summarise(run)
+        # 30-day trace minus 20 warm-up days: month 1 only.
+        assert set(summary.monthly_mape) == {1}
+        assert summary.n_scored == run.n_scored
+
+    def test_quantiles_ordered(self, hsu_trace):
+        run = evaluate_predictor(
+            WCMAPredictor(48, WCMAParams(0.7, 5, 2)), hsu_trace, 48
+        )
+        q = summarise(run).error_quantiles
+        assert q[0.5] <= q[0.9] <= q[0.99]
+
+    def test_level_bands_present(self, hsu_trace):
+        run = evaluate_predictor(
+            WCMAPredictor(48, WCMAParams(0.7, 5, 2)), hsu_trace, 48
+        )
+        by_level = summarise(run).mape_by_level
+        assert len(by_level) >= 2
+
+    def test_empty_region_rejected_upstream(self):
+        """A warm-up longer than the trace already fails at scoring."""
+        reference = np.tile([0.0, 100.0], 4)[:-1]
+        with pytest.raises(ValueError):
+            score_predictions(
+                reference.copy(), reference, reference, n_slots=2, warmup_days=50
+            )
+
+
+class TestFormatSummary:
+    def test_renders_all_sections(self, hsu_trace):
+        run = evaluate_predictor(
+            WCMAPredictor(48, WCMAParams(0.7, 5, 2)), hsu_trace, 48
+        )
+        text = format_summary(summarise(run))
+        assert "MAPE:" in text
+        assert "error quantiles:" in text
+        assert "by power level:" in text
+        assert "by month:" in text

@@ -1,0 +1,69 @@
+"""Tests for the clear-sky irradiance models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solar.clearsky import adnot, clearsky_profile, haurwitz
+
+
+class TestHaurwitz:
+    def test_zero_below_horizon(self):
+        assert haurwitz(np.array([-0.1, 0.0]) ).tolist() == [0.0, 0.0]
+
+    def test_zenith_sun_near_max(self):
+        value = haurwitz(np.array([math.pi / 2]))[0]
+        # 1098 * exp(-0.057) ~ 1037 W/m^2
+        assert value == pytest.approx(1037.2, abs=1.0)
+
+    def test_monotone_in_elevation(self):
+        elevations = np.linspace(0.01, math.pi / 2, 50)
+        values = haurwitz(elevations)
+        assert (np.diff(values) > 0).all()
+
+    @given(st.floats(-math.pi / 2, math.pi / 2))
+    def test_non_negative_and_bounded(self, elevation):
+        value = float(haurwitz(np.array([elevation]))[0])
+        assert 0.0 <= value <= 1100.0
+
+
+class TestAdnot:
+    def test_zero_below_horizon(self):
+        assert adnot(np.array([-0.5]))[0] == 0.0
+
+    def test_zenith_value(self):
+        assert adnot(np.array([math.pi / 2]))[0] == pytest.approx(951.39, abs=0.1)
+
+    def test_roughly_agrees_with_haurwitz_at_high_sun(self):
+        elevations = np.linspace(math.radians(30), math.radians(80), 10)
+        ratio = adnot(elevations) / haurwitz(elevations)
+        assert ((ratio > 0.8) & (ratio < 1.1)).all()
+
+
+class TestClearskyProfile:
+    def test_night_is_dark(self):
+        profile = clearsky_profile(40.0, 172, 288)
+        assert profile[0] == 0.0  # midnight
+        assert profile[144] > 800.0  # noon, summer
+
+    def test_summer_brighter_than_winter(self):
+        summer = clearsky_profile(40.0, 172, 288)
+        winter = clearsky_profile(40.0, 355, 288)
+        assert summer.max() > winter.max()
+        assert summer.sum() > winter.sum()
+
+    def test_model_selection(self):
+        h = clearsky_profile(40.0, 100, 48, model="haurwitz")
+        a = clearsky_profile(40.0, 100, 48, model="adnot")
+        assert not np.allclose(h, a)
+        with pytest.raises(ValueError):
+            clearsky_profile(40.0, 100, 48, model="nope")
+
+    def test_profile_symmetric_about_noon(self):
+        profile = clearsky_profile(35.0, 100, 288)
+        # Sample i and 288-i mirror around solar noon at 144.
+        left = profile[100:144]
+        right = profile[145:189][::-1]
+        assert np.allclose(left, right, rtol=1e-6)

@@ -1,0 +1,139 @@
+"""Tests for the stochastic cloud model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solar.clouds import (
+    CloudModelParams,
+    DayType,
+    DayTypeModel,
+    IntradayCloudModel,
+)
+
+
+def make_chain(persistence=0.5):
+    stationary = np.array([0.5, 0.3, 0.2])
+    transition = persistence * np.eye(3) + (1 - persistence) * np.tile(
+        stationary, (3, 1)
+    )
+    return DayTypeModel(transition=transition, initial=stationary)
+
+
+class TestDayTypeModel:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DayTypeModel(transition=np.eye(2))
+        with pytest.raises(ValueError):
+            DayTypeModel(transition=np.eye(3), initial=np.array([0.5, 0.5]))
+
+    def test_rejects_non_stochastic_rows(self):
+        bad = np.full((3, 3), 0.5)
+        with pytest.raises(ValueError):
+            DayTypeModel(transition=bad)
+
+    def test_rejects_negative_probabilities(self):
+        bad = np.array([[1.5, -0.5, 0.0], [0.3, 0.4, 0.3], [0.3, 0.4, 0.3]])
+        with pytest.raises(ValueError):
+            DayTypeModel(transition=bad)
+
+    def test_sample_days_deterministic_per_seed(self):
+        chain = make_chain()
+        a = chain.sample_days(50, np.random.default_rng(1))
+        b = chain.sample_days(50, np.random.default_rng(1))
+        assert (a == b).all()
+
+    def test_sample_days_values_in_range(self):
+        days = make_chain().sample_days(200, np.random.default_rng(2))
+        assert set(np.unique(days)).issubset({0, 1, 2})
+
+    def test_stationary_distribution(self):
+        chain = make_chain(persistence=0.4)
+        pi = chain.stationary_distribution()
+        assert pi == pytest.approx([0.5, 0.3, 0.2], abs=1e-9)
+        # pi is invariant under the transition.
+        assert pi @ chain.transition == pytest.approx(pi, abs=1e-9)
+
+    def test_empirical_mix_approaches_stationary(self):
+        chain = make_chain(persistence=0.3)
+        days = chain.sample_days(20000, np.random.default_rng(3))
+        freq = np.bincount(days, minlength=3) / days.size
+        assert freq == pytest.approx([0.5, 0.3, 0.2], abs=0.03)
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            make_chain().sample_days(0, np.random.default_rng(0))
+
+
+class TestCloudModelParams:
+    def test_defaults_valid(self):
+        CloudModelParams()
+
+    def test_rejects_wrong_tuple_length(self):
+        with pytest.raises(ValueError):
+            CloudModelParams(base_index=(0.9, 0.5))
+
+    def test_rejects_bad_clamp(self):
+        with pytest.raises(ValueError):
+            CloudModelParams(k_min=1.5, k_max=1.0)
+
+    def test_rejects_bad_mean_reversion(self):
+        with pytest.raises(ValueError):
+            CloudModelParams(mean_reversion=(0.0, 0.5, 0.5))
+
+
+class TestIntradayCloudModel:
+    def test_clamped_to_range(self):
+        params = CloudModelParams()
+        model = IntradayCloudModel(params)
+        rng = np.random.default_rng(7)
+        for day_type in DayType:
+            k = model.sample_day(day_type, 1440, rng)
+            assert k.shape == (1440,)
+            assert (k >= params.k_min).all()
+            assert (k <= params.k_max).all()
+
+    def test_clear_days_brighter_than_overcast(self):
+        model = IntradayCloudModel(CloudModelParams())
+        rng = np.random.default_rng(11)
+        clear = np.mean(
+            [model.sample_day(DayType.CLEAR, 288, rng).mean() for _ in range(20)]
+        )
+        overcast = np.mean(
+            [model.sample_day(DayType.OVERCAST, 288, rng).mean() for _ in range(20)]
+        )
+        assert clear > overcast + 0.3
+
+    def test_partly_days_more_variable_than_clear(self):
+        model = IntradayCloudModel(CloudModelParams())
+        rng = np.random.default_rng(13)
+        clear_std = np.mean(
+            [model.sample_day(DayType.CLEAR, 288, rng).std() for _ in range(20)]
+        )
+        partly_std = np.mean(
+            [model.sample_day(DayType.PARTLY, 288, rng).std() for _ in range(20)]
+        )
+        assert partly_std > clear_std
+
+    def test_deterministic_per_seed(self):
+        model = IntradayCloudModel(CloudModelParams())
+        a = model.sample_day(DayType.PARTLY, 288, np.random.default_rng(5))
+        b = model.sample_day(DayType.PARTLY, 288, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+    def test_rejects_nonpositive_samples(self):
+        model = IntradayCloudModel(CloudModelParams())
+        with pytest.raises(ValueError):
+            model.sample_day(DayType.CLEAR, 0, np.random.default_rng(0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        spd=st.sampled_from([96, 288, 1440]),
+        day_type=st.sampled_from(list(DayType)),
+        seed=st.integers(0, 10_000),
+    )
+    def test_clamp_property(self, spd, day_type, seed):
+        params = CloudModelParams()
+        model = IntradayCloudModel(params)
+        k = model.sample_day(day_type, spd, np.random.default_rng(seed))
+        assert (k >= params.k_min).all() and (k <= params.k_max).all()

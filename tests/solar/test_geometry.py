@@ -1,0 +1,125 @@
+"""Tests for solar geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solar.geometry import (
+    day_length_hours,
+    declination,
+    elevation_profile,
+    hour_angle,
+    solar_elevation,
+    sunrise_sunset_hours,
+)
+
+
+class TestDeclination:
+    def test_bounds(self):
+        for day in range(1, 366):
+            dec = declination(day)
+            assert abs(dec) <= math.radians(23.45) + 1e-12
+
+    def test_solstices_and_equinoxes(self):
+        # Summer solstice ~day 172: max declination.
+        assert declination(172) == pytest.approx(math.radians(23.45), abs=0.01)
+        # Winter solstice ~day 355: min declination.
+        assert declination(355) == pytest.approx(-math.radians(23.45), abs=0.01)
+        # Spring equinox ~day 81: near zero.
+        assert abs(declination(81)) < math.radians(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            declination(0)
+        with pytest.raises(ValueError):
+            declination(366)
+
+
+class TestHourAngle:
+    def test_solar_noon_is_zero(self):
+        assert hour_angle(12.0) == pytest.approx(0.0)
+
+    def test_morning_negative_afternoon_positive(self):
+        assert hour_angle(6.0) < 0
+        assert hour_angle(18.0) > 0
+
+    def test_fifteen_degrees_per_hour(self):
+        assert hour_angle(13.0) == pytest.approx(math.radians(15.0))
+
+    def test_wraps_modulo_24(self):
+        assert hour_angle(36.0) == pytest.approx(hour_angle(12.0))
+
+
+class TestSolarElevation:
+    def test_noon_higher_than_morning(self):
+        noon = solar_elevation(40.0, 172, 12.0)
+        morning = solar_elevation(40.0, 172, 8.0)
+        assert noon > morning
+
+    def test_midnight_below_horizon_midlatitude(self):
+        assert solar_elevation(40.0, 172, 0.0) < 0
+
+    def test_equator_equinox_noon_near_zenith(self):
+        elev = solar_elevation(0.0, 81, 12.0)
+        assert elev == pytest.approx(math.pi / 2, abs=math.radians(2.0))
+
+    def test_higher_latitude_lower_sun(self):
+        low = solar_elevation(20.0, 172, 12.0)
+        high = solar_elevation(60.0, 172, 12.0)
+        assert low > high
+
+
+class TestElevationProfile:
+    def test_shape_and_symmetry(self):
+        profile = elevation_profile(35.0, 100, 288)
+        assert profile.shape == (288,)
+        # Peak at solar noon (sample 144).
+        assert int(np.argmax(profile)) == 144
+
+    def test_matches_scalar_function(self):
+        profile = elevation_profile(35.0, 100, 24)
+        for i in (0, 6, 12, 18):
+            assert profile[i] == pytest.approx(
+                solar_elevation(35.0, 100, i * 1.0), abs=1e-12
+            )
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            elevation_profile(35.0, 100, 0)
+
+
+class TestSunriseSunset:
+    def test_summer_longer_than_winter(self):
+        assert day_length_hours(45.0, 172) > day_length_hours(45.0, 355)
+
+    def test_equinox_close_to_12h(self):
+        assert day_length_hours(45.0, 81) == pytest.approx(12.0, abs=0.3)
+
+    def test_polar_day_and_night(self):
+        sunrise, sunset = sunrise_sunset_hours(80.0, 172)
+        assert (sunrise, sunset) == (0.0, 24.0)  # midnight sun
+        sunrise, sunset = sunrise_sunset_hours(80.0, 355)
+        assert sunrise == sunset  # polar night
+
+    def test_symmetric_about_noon(self):
+        sunrise, sunset = sunrise_sunset_hours(35.0, 120)
+        assert sunrise + sunset == pytest.approx(24.0)
+
+    @given(
+        lat=st.floats(-65.0, 65.0),
+        day=st.integers(1, 365),
+    )
+    def test_day_length_bounds(self, lat, day):
+        length = day_length_hours(lat, day)
+        assert 0.0 <= length <= 24.0
+
+    @given(
+        lat=st.floats(-65.0, 65.0),
+        day=st.integers(1, 365),
+        hour=st.floats(0.0, 24.0, exclude_max=True),
+    )
+    def test_elevation_within_physical_bounds(self, lat, day, hour):
+        elev = solar_elevation(lat, day, hour)
+        assert -math.pi / 2 <= elev <= math.pi / 2

@@ -1,0 +1,110 @@
+"""Tests for site profiles, the synthetic generator and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.solar.datasets import (
+    available_datasets,
+    build_dataset,
+    clear_cache,
+    dataset_summary,
+)
+from repro.solar.sites import SITE_ORDER, SITES, get_site
+from repro.solar.synthetic import generate_trace
+
+
+class TestSites:
+    def test_all_six_sites_present(self):
+        assert set(SITE_ORDER) == set(SITES)
+        assert len(SITE_ORDER) == 6
+
+    def test_lookup_case_insensitive(self):
+        assert get_site("pfci").name == "PFCI"
+
+    def test_unknown_site(self):
+        with pytest.raises(KeyError, match="unknown site"):
+            get_site("XXXX")
+
+    def test_resolutions_match_table1(self):
+        assert get_site("SPMD").resolution_minutes == 5
+        assert get_site("ECSU").resolution_minutes == 5
+        for name in ("ORNL", "HSU", "NPCS", "PFCI"):
+            assert get_site(name).resolution_minutes == 1
+
+    def test_observations_per_year_match_table1(self):
+        assert get_site("SPMD").observations_per_year == 105_120
+        assert get_site("ORNL").observations_per_year == 525_600
+
+    def test_day_type_models_are_valid_chains(self):
+        for site in SITES.values():
+            rows = site.day_type_model.transition.sum(axis=1)
+            assert np.allclose(rows, 1.0)
+
+    def test_sunny_sites_have_more_clear_days(self):
+        sunny = get_site("PFCI").day_type_model.stationary_distribution()[0]
+        cloudy = get_site("ORNL").day_type_model.stationary_distribution()[0]
+        assert sunny > cloudy
+
+
+class TestGenerateTrace:
+    def test_shape_and_nonnegativity(self):
+        trace = generate_trace(get_site("PFCI"), n_days=10)
+        assert trace.n_days == 10
+        assert trace.samples_per_day == 1440
+        assert (trace.values >= 0).all()
+
+    def test_deterministic_default_seed(self):
+        a = generate_trace(get_site("HSU"), n_days=5)
+        b = generate_trace(get_site("HSU"), n_days=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_seed_override_changes_weather(self):
+        a = generate_trace(get_site("HSU"), n_days=5, seed=1)
+        b = generate_trace(get_site("HSU"), n_days=5, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_night_is_dark(self):
+        trace = generate_trace(get_site("PFCI"), n_days=3)
+        days = trace.as_days()
+        assert days[:, 0].max() == 0.0  # midnight
+        assert days[:, 720] .min() > 0.0  # noon is lit
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_site("PFCI"), n_days=0)
+
+    def test_sunny_site_less_variable_than_cloudy(self):
+        # Compare mean absolute 30-minute relative change around midday.
+        def midday_variability(name):
+            trace = generate_trace(get_site(name), n_days=40)
+            days = trace.as_days()
+            spd = trace.samples_per_day
+            midday = days[:, spd // 3 : 2 * spd // 3 : 30]
+            rel = np.abs(np.diff(midday, axis=1)) / (midday[:, :-1] + 1.0)
+            return rel.mean()
+
+        assert midday_variability("PFCI") < midday_variability("ORNL")
+
+
+class TestDatasets:
+    def test_available(self):
+        assert available_datasets() == SITE_ORDER
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = build_dataset("PFCI", n_days=5)
+        b = build_dataset("pfci", n_days=5)
+        assert a is b
+        c = build_dataset("PFCI", n_days=6)
+        assert c is not a
+        clear_cache()
+
+    def test_summary_matches_paper_table1(self):
+        summary = dataset_summary("ORNL")
+        assert summary == {
+            "data_set": "ORNL",
+            "location": "TN",
+            "observations": 525_600,
+            "days": 365,
+            "resolution_minutes": 1,
+        }

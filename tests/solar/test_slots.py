@@ -1,0 +1,75 @@
+"""Tests for slot decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solar.slots import SlotView, slot_means, slot_starts
+from repro.solar.trace import SolarTrace
+
+
+def ramp_trace(n_days=2, spd=288):
+    values = np.tile(np.arange(spd, dtype=float), n_days)
+    return SolarTrace(values, (24 * 60) // spd, "ramp")
+
+
+class TestSlotView:
+    def test_shapes(self):
+        view = SlotView.from_trace(ramp_trace(), 48)
+        assert view.starts.shape == (2, 48)
+        assert view.means.shape == (2, 48)
+        assert view.samples_per_slot == 6
+        assert view.n_days == 2
+
+    def test_start_is_first_sample(self):
+        view = SlotView.from_trace(ramp_trace(), 48)
+        # Slot j starts at sample 6j of the day ramp.
+        assert view.starts[0, 0] == 0.0
+        assert view.starts[0, 1] == 6.0
+        assert view.starts[1, 10] == 60.0
+
+    def test_mean_is_slot_average(self):
+        view = SlotView.from_trace(ramp_trace(), 48)
+        # Slot 0 holds samples 0..5 -> mean 2.5.
+        assert view.means[0, 0] == pytest.approx(2.5)
+
+    def test_one_sample_per_slot_start_equals_mean(self):
+        view = SlotView.from_trace(ramp_trace(spd=288), 288)
+        assert np.array_equal(view.starts, view.means)
+
+    def test_rejects_nondividing_n(self):
+        with pytest.raises(ValueError):
+            SlotView.from_trace(ramp_trace(spd=288), 100)
+
+    def test_rejects_n_above_native(self):
+        with pytest.raises(ValueError):
+            SlotView.from_trace(ramp_trace(spd=288), 576)
+
+    def test_slot_duration(self):
+        view = SlotView.from_trace(ramp_trace(), 48)
+        assert view.slot_duration_hours == pytest.approx(0.5)
+
+    def test_slot_energy(self):
+        trace = SolarTrace(np.full(288, 100.0), 5)
+        view = SlotView.from_trace(trace, 24)
+        assert view.slot_energy() == pytest.approx(np.full((1, 24), 100.0))
+
+    def test_flat_ordering(self):
+        view = SlotView.from_trace(ramp_trace(n_days=3), 48)
+        flat = view.flat_starts()
+        assert flat.shape == (144,)
+        assert flat[48] == view.starts[1, 0]
+        assert np.array_equal(
+            view.flat_means(), view.means.reshape(-1)
+        )
+
+    def test_shorthands(self):
+        trace = ramp_trace()
+        assert np.array_equal(slot_starts(trace, 48), SlotView.from_trace(trace, 48).starts)
+        assert np.array_equal(slot_means(trace, 48), SlotView.from_trace(trace, 48).means)
+
+    @given(n=st.sampled_from([288, 96, 72, 48, 24, 12]))
+    def test_mean_of_means_equals_trace_mean(self, n):
+        trace = ramp_trace(n_days=2)
+        view = SlotView.from_trace(trace, n)
+        assert view.means.mean() == pytest.approx(trace.values.mean())

@@ -1,0 +1,127 @@
+"""Tests for trace statistics and site calibration."""
+
+import numpy as np
+import pytest
+
+from repro.solar.calibration import calibrate_site
+from repro.solar.clearsky import clearsky_profile
+from repro.solar.datasets import build_dataset
+from repro.solar.sites import get_site
+from repro.solar.statistics import (
+    classify_days,
+    clear_sky_index,
+    daily_clearness,
+    trace_statistics,
+)
+from repro.solar.synthetic import generate_trace
+from repro.solar.trace import SolarTrace
+
+
+def clearsky_only_trace(n_days=10, latitude=35.0):
+    days = [clearsky_profile(latitude, d, 288) for d in range(1, n_days + 1)]
+    return SolarTrace(np.concatenate(days), 5, "cs"), latitude
+
+
+class TestClearSkyIndex:
+    def test_clear_trace_index_near_one(self):
+        trace, lat = clearsky_only_trace()
+        k = clear_sky_index(trace, lat)
+        daylight = k[k > 0]
+        assert daylight.min() > 0.95
+        assert daylight.max() < 1.05
+
+    def test_night_index_zero(self):
+        trace, lat = clearsky_only_trace()
+        k = clear_sky_index(trace, lat).reshape(10, 288)
+        assert k[:, 0].max() == 0.0  # midnight
+
+    def test_scaled_trace_scales_index(self):
+        trace, lat = clearsky_only_trace()
+        half = SolarTrace(trace.values * 0.5, 5, "half")
+        k = clear_sky_index(half, lat)
+        daylight = k[k > 0]
+        assert daylight.mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestDailyClearness:
+    def test_clear_trace_near_one(self):
+        trace, lat = clearsky_only_trace()
+        clearness = daily_clearness(trace, lat)
+        assert clearness == pytest.approx(np.ones(10), abs=0.02)
+
+    def test_classification_thresholds(self):
+        trace, lat = clearsky_only_trace(n_days=3)
+        # Scale day 1 to 60%, day 2 to 20% of clear sky.
+        days = trace.as_days().copy()
+        days[1] *= 0.6
+        days[2] *= 0.2
+        mixed = SolarTrace(days.reshape(-1), 5, "mixed")
+        labels = classify_days(mixed, lat)
+        assert labels.tolist() == [0, 1, 2]  # CLEAR, PARTLY, OVERCAST
+
+    def test_classify_rejects_bad_bounds(self):
+        trace, lat = clearsky_only_trace(n_days=2)
+        with pytest.raises(ValueError):
+            classify_days(trace, lat, bounds=(0.8, 0.4))
+
+
+class TestTraceStatistics:
+    def test_fractions_sum_to_one(self, hsu_trace):
+        stats = trace_statistics(hsu_trace, get_site("HSU").latitude_deg)
+        total = (
+            stats.clear_fraction + stats.partly_fraction + stats.overcast_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_sunny_site_clearer_and_calmer(self):
+        pfci = trace_statistics(
+            build_dataset("PFCI", n_days=45), get_site("PFCI").latitude_deg
+        )
+        ornl = trace_statistics(
+            build_dataset("ORNL", n_days=45), get_site("ORNL").latitude_deg
+        )
+        assert pfci.mean_clearness > ornl.mean_clearness
+        assert pfci.midday_step_variability < ornl.midday_step_variability
+        assert pfci.clear_fraction > ornl.clear_fraction
+
+
+class TestCalibration:
+    def test_needs_enough_days(self):
+        trace, lat = clearsky_only_trace(n_days=10)
+        with pytest.raises(ValueError, match="30 days"):
+            calibrate_site(trace, lat)
+
+    def test_round_trip_statistics(self):
+        """Calibrate from a synthetic HSU year, regenerate, and compare
+        the statistics the experiments are sensitive to."""
+        source_site = get_site("HSU")
+        source = build_dataset("HSU", n_days=120)
+        fitted = calibrate_site(source, source_site.latitude_deg, name="HSU-FIT")
+        regenerated = generate_trace(fitted, n_days=120, seed=99)
+
+        stats_source = trace_statistics(source, source_site.latitude_deg)
+        stats_regen = trace_statistics(regenerated, source_site.latitude_deg)
+
+        assert stats_regen.mean_clearness == pytest.approx(
+            stats_source.mean_clearness, abs=0.12
+        )
+        assert stats_regen.clear_fraction == pytest.approx(
+            stats_source.clear_fraction, abs=0.2
+        )
+        # Variability within a factor of two (moment matching, not exact).
+        ratio = (
+            stats_regen.midday_step_variability
+            / stats_source.midday_step_variability
+        )
+        assert 0.4 < ratio < 2.5
+
+    def test_fitted_profile_metadata(self):
+        source = build_dataset("PFCI", n_days=60)
+        fitted = calibrate_site(
+            source, get_site("PFCI").latitude_deg, name="X", location="ZZ", seed=1
+        )
+        assert fitted.name == "X"
+        assert fitted.location == "ZZ"
+        assert fitted.resolution_minutes == source.resolution_minutes
+        # The fitted Markov chain is a valid stochastic matrix.
+        assert np.allclose(fitted.day_type_model.transition.sum(axis=1), 1.0)

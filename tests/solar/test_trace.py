@@ -1,0 +1,107 @@
+"""Tests for the SolarTrace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solar.trace import MINUTES_PER_DAY, SolarTrace
+
+
+def make_trace(n_days=3, resolution=30, name="t"):
+    spd = MINUTES_PER_DAY // resolution
+    values = np.arange(n_days * spd, dtype=float)
+    return SolarTrace(values, resolution, name)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        trace = make_trace(n_days=3, resolution=30)
+        assert trace.samples_per_day == 48
+        assert trace.n_days == 3
+        assert trace.n_samples == 144
+        assert len(trace) == 144
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            SolarTrace(np.zeros(10), 7)  # 7 does not divide 1440
+        with pytest.raises(ValueError):
+            SolarTrace(np.zeros(10), 0)
+
+    def test_rejects_partial_days(self):
+        with pytest.raises(ValueError):
+            SolarTrace(np.zeros(47), 30)
+
+    def test_rejects_negative_and_nonfinite(self):
+        with pytest.raises(ValueError):
+            SolarTrace(np.full(48, -1.0), 30)
+        bad = np.zeros(48)
+        bad[3] = np.nan
+        with pytest.raises(ValueError):
+            SolarTrace(bad, 30)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            SolarTrace(np.zeros((2, 48)), 30)
+
+    def test_values_read_only(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.values[0] = 99.0
+
+
+class TestViews:
+    def test_as_days_shape_and_content(self):
+        trace = make_trace(n_days=2, resolution=30)
+        days = trace.as_days()
+        assert days.shape == (2, 48)
+        assert days[1, 0] == 48.0
+
+    def test_day_indexing(self):
+        trace = make_trace(n_days=3)
+        assert trace.day(0)[0] == 0.0
+        assert trace.day(-1)[0] == trace.day(2)[0]
+
+    def test_select_days(self):
+        trace = make_trace(n_days=5)
+        sub = trace.select_days(1, 3)
+        assert sub.n_days == 2
+        assert sub.values[0] == trace.day(1)[0]
+        assert sub.name == trace.name
+
+    def test_select_days_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_trace(n_days=3).select_days(3, 3)
+
+
+class TestDownsample:
+    def test_decimates(self):
+        trace = make_trace(n_days=1, resolution=30)
+        down = trace.downsample(2)
+        assert down.samples_per_day == 24
+        assert down.resolution_minutes == 60
+        assert down.values[1] == trace.values[2]
+
+    def test_rejects_nondividing_factor(self):
+        with pytest.raises(ValueError):
+            make_trace(resolution=30).downsample(5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            make_trace().downsample(0)
+
+
+class TestStats:
+    def test_peak(self):
+        assert make_trace(n_days=2).peak == 95.0
+
+    def test_daily_energy(self):
+        values = np.full(48, 100.0)  # constant 100 W for a day
+        trace = SolarTrace(np.tile(values, 2), 30)
+        energy = trace.daily_energy()
+        assert energy.shape == (2,)
+        assert energy[0] == pytest.approx(2400.0)  # 100 W * 24 h
+
+    @given(st.integers(1, 5), st.sampled_from([15, 30, 60, 5]))
+    def test_reshape_roundtrip(self, n_days, resolution):
+        trace = make_trace(n_days=n_days, resolution=resolution)
+        assert np.array_equal(trace.as_days().reshape(-1), trace.values)

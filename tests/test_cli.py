@@ -1,0 +1,94 @@
+"""Tests for the command-line front-end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.solar.io import read_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "PFCI" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "55.0 uJ" in out
+
+    def test_run_with_sites_and_days(self, capsys):
+        code = main(["run", "table1", "--days", "30", "--sites", "PFCI"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PFCI" in out and "43200" in out  # 30 * 1440 observations
+
+    def test_export_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "t.csv"
+        code = main(
+            ["export-trace", "SPMD", "--days", "2", "--out", str(out_path)]
+        )
+        assert code == 0
+        trace = read_csv(out_path)
+        assert trace.n_days == 2
+        assert trace.name == "SPMD"
+        assert (trace.values >= 0).all()
+
+    def test_export_trace_seed_changes_data(self, tmp_path):
+        a_path = tmp_path / "a.csv"
+        b_path = tmp_path / "b.csv"
+        main(["export-trace", "SPMD", "--days", "2", "--seed", "1", "--out", str(a_path)])
+        main(["export-trace", "SPMD", "--days", "2", "--seed", "2", "--out", str(b_path)])
+        a = read_csv(a_path)
+        b = read_csv(b_path)
+        assert not np.array_equal(a.values, b.values)
+
+
+class TestAnalysisCommands:
+    def test_tune(self, capsys):
+        assert main(["tune", "--site", "PFCI", "--days", "45", "--n", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "best on PFCI" in out
+        assert "guideline check: K=2" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--site", "HSU", "--days", "45", "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "wcma" in out and "pro-energy" in out and "MAPE" in out
+
+    def test_summarize(self, capsys):
+        code = main(
+            ["summarize", "--site", "PFCI", "--days", "45", "--n", "48",
+             "--predictor", "wcma"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error quantiles" in out
+
+    def test_tune_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        main(["export-trace", "HSU", "--days", "45", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["tune", "--trace", str(path), "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "best on HSU" in out
+
+    def test_trace_and_site_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--site", "PFCI", "--trace", "x.csv"])

@@ -1,0 +1,100 @@
+"""Tests for the terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.plotting import line_chart, multi_series_chart, render_fig2, render_fig7
+
+
+class TestLineChart:
+    def test_shape_of_output(self):
+        chart = line_chart(np.sin(np.linspace(0, 6, 300)) + 1.0, width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 9  # 8 rows + axis
+        assert all(len(line) <= 50 for line in lines)
+
+    def test_peak_column_reaches_top(self):
+        values = np.zeros(40)
+        values[20] = 10.0
+        chart = line_chart(values, width=40, height=6)
+        assert "#" in chart.splitlines()[0]
+
+    def test_zero_series_does_not_crash(self):
+        chart = line_chart(np.zeros(50), width=20, height=4)
+        assert "#" not in chart
+
+    def test_labels_included(self):
+        chart = line_chart([1, 2, 3], width=10, height=3, y_label="Y", x_label="X")
+        assert chart.splitlines()[0] == "Y"
+        assert "X" in chart.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([1.0], width=4)
+        with pytest.raises(ValueError):
+            line_chart(np.zeros((2, 2)))
+
+
+class TestMultiSeriesChart:
+    def test_markers_and_legend(self):
+        chart = multi_series_chart(
+            {"alpha": [1, 2, 3], "beta": [3, 2, 1]}, width=20, height=5
+        )
+        assert "A=alpha" in chart
+        assert "B=beta" in chart
+        assert "A" in chart and "B" in chart
+
+    def test_axis_bounds_displayed(self):
+        chart = multi_series_chart(
+            {"s": [0.1, 0.4]}, x_values=[2, 20], width=20, height=4
+        )
+        assert "0.400" in chart
+        assert "0.100" in chart
+        assert "20" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_series_chart({})
+        with pytest.raises(ValueError):
+            multi_series_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            multi_series_chart({"a": []})
+        with pytest.raises(ValueError):
+            multi_series_chart({"a": [1, 2]}, x_values=[1])
+        with pytest.raises(ValueError):
+            multi_series_chart({"a": [1, 2]}, width=2)
+
+    def test_constant_series_does_not_crash(self):
+        chart = multi_series_chart({"flat": [5.0, 5.0, 5.0]}, width=12, height=4)
+        assert "F" in chart
+
+
+class TestFigureRenderers:
+    def test_render_fig2(self):
+        chart = render_fig2(n_days=30, site="HSU")
+        assert "W/m^2" in chart
+        assert "#" in chart  # daylight reaches the top rows somewhere
+
+    def test_render_fig7(self):
+        chart = render_fig7(n_days=30, sites=("PFCI", "ORNL"))
+        assert "MAPE" in chart
+        assert "P=PFCI" in chart or "P" in chart
+        assert "D (days of history)" in chart
+
+
+class TestCliPlot:
+    def test_plot_fig7(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "fig7", "--days", "30", "--sites", "PFCI"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+
+    def test_plot_fig2(self, capsys):
+        from repro.cli import main
+
+        assert main(["plot", "fig2", "--days", "30", "--site", "HSU"]) == 0
+        out = capsys.readouterr().out
+        assert "W/m^2" in out
