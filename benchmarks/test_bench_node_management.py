@@ -5,6 +5,12 @@ provisioned supercap node for a full year under the Kansal
 energy-neutral controller with different predictors, plus the oracle
 bound and a greedy fixed-duty baseline.
 
+All five configurations now run as *one* five-node fleet through the
+lock-step engine (:class:`~repro.management.fleet.FleetSimulator`) --
+the same numbers the historical per-node loop produced (the fleet is
+elementwise-identical; see ``tests/management/test_fleet_parity.py``),
+at a fraction of the wall-clock.
+
 Shape claims: the prediction-driven controllers avoid the downtime the
 fixed-duty node suffers; the WCMA node's downtime is no worse than the
 EWMA node's; and the oracle is at least as good as every predictor.
@@ -12,17 +18,14 @@ EWMA node's; and the oracle is at least as good as every predictor.
 
 from conftest import run_once
 
-from repro.core.baselines import PersistencePredictor
-from repro.core.ewma import EWMAPredictor
-from repro.core.wcma import WCMAParams, WCMAPredictor
 from repro.management.consumer import DutyCycledLoad
 from repro.management.controller import (
     FixedDutyController,
     KansalController,
     OracleController,
 )
+from repro.management.fleet import FleetNodeSpec, FleetSimulator
 from repro.management.harvester import PVHarvester
-from repro.management.node import SensorNodeSimulation
 from repro.management.storage import Supercapacitor
 from repro.solar.datasets import build_dataset
 
@@ -36,35 +39,43 @@ HARVESTER = PVHarvester(area_m2=25e-4)
 def _simulate(full_days):
     trace = build_dataset(SITE, n_days=full_days)
 
-    def run(predictor, controller):
-        sim = SensorNodeSimulation(
+    def kansal():
+        return KansalController(LOAD, CAPACITY_J, target_soc=0.6)
+
+    def spec(name, predictor, controller, **kwargs):
+        return FleetNodeSpec(
             trace=trace,
-            n_slots=N_SLOTS,
-            predictor=predictor,
             controller=controller,
+            predictor=predictor,
+            predictor_kwargs=kwargs,
             harvester=HARVESTER,
             storage=Supercapacitor(capacity_joules=CAPACITY_J, initial_soc=0.5),
             load=LOAD,
+            name=name,
         )
-        return sim.run().summary()
 
-    kansal = lambda: KansalController(LOAD, CAPACITY_J, target_soc=0.6)
-    return {
-        "wcma": run(WCMAPredictor(N_SLOTS, WCMAParams(0.7, 10, 2)), kansal()),
-        "ewma": run(EWMAPredictor(N_SLOTS), kansal()),
-        "persistence": run(PersistencePredictor(N_SLOTS), kansal()),
-        "oracle": run(
-            PersistencePredictor(N_SLOTS),
+    specs = [
+        spec("wcma", "wcma", kansal(), alpha=0.7, days=10, k=2),
+        spec("ewma", "ewma", kansal()),
+        spec("persistence", "persistence", kansal()),
+        spec(
+            "oracle",
+            "persistence",
             OracleController(LOAD, CAPACITY_J, target_soc=0.6),
         ),
-        "fixed-greedy": run(PersistencePredictor(N_SLOTS), FixedDutyController(0.8)),
+        spec("fixed-greedy", "persistence", FixedDutyController(0.8)),
+    ]
+    result = FleetSimulator(specs, N_SLOTS).run()
+    return {
+        result.node_names[i]: result.node_summary(i)
+        for i in range(result.n_nodes)
     }
 
 
 def test_bench_node_management(benchmark, full_days):
     results = run_once(benchmark, _simulate, full_days)
 
-    print(f"\nYear-long node simulation ({SITE}, {CAPACITY_J:.0f} J supercap):")
+    print(f"\nYear-long fleet simulation ({SITE}, {CAPACITY_J:.0f} J supercap):")
     for name, summary in results.items():
         print(
             f"  {name:<13} duty {summary['mean_duty'] * 100:5.1f}%  "

@@ -27,7 +27,9 @@ Hardware model (:mod:`repro.hardware`)
 
 Energy management (:mod:`repro.management`)
     Harvester, storage, consumer and controller models wired into a
-    full node simulation (Fig. 1).
+    full node simulation (Fig. 1), and the lock-step ``FleetSimulator``
+    stepping thousands of heterogeneous nodes as array state (see the
+    "Fleet simulation" section of that package's docs).
 
 Experiments (:mod:`repro.experiments`)
     One module per table/figure of the paper; see DESIGN.md for the
@@ -56,10 +58,11 @@ from repro.core import (
     grid_search,
     make_predictor,
 )
+from repro.management import FleetNodeSpec, FleetRunResult, FleetSimulator
 from repro.metrics import evaluate_predictor
 from repro.solar import SolarTrace, SlotView, build_dataset, generate_trace, get_site
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -73,6 +76,9 @@ __all__ = [
     "clairvoyant_dynamic",
     "make_predictor",
     "evaluate_predictor",
+    "FleetNodeSpec",
+    "FleetRunResult",
+    "FleetSimulator",
     "SolarTrace",
     "SlotView",
     "build_dataset",

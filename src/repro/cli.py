@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.experiments.fleet import CONTROLLER_KINDS
 from repro.experiments.runner import EXPERIMENTS, render_report, run_all
 from repro.solar.datasets import available_datasets, build_dataset
 from repro.solar.io import write_csv
@@ -79,6 +80,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_source(summarize_p)
     summarize_p.add_argument("--n", type=int, default=48, help="slots per day")
     summarize_p.add_argument("--predictor", default="wcma")
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="simulate a heterogeneous node fleet in lock-step",
+    )
+    fleet_p.add_argument(
+        "--nodes", type=int, default=64, help="fleet size (default 64)"
+    )
+    fleet_p.add_argument(
+        "--sites",
+        nargs="+",
+        default=["SPMD"],
+        metavar="SITE",
+        help="sites cycled across the fleet (default SPMD)",
+    )
+    fleet_p.add_argument(
+        "--days", type=int, default=30, help="trace length in days (default 30)"
+    )
+    fleet_p.add_argument("--n", type=int, default=48, help="slots per day")
+    fleet_p.add_argument(
+        "--predictors",
+        nargs="+",
+        default=["wcma", "ewma", "persistence"],
+        metavar="NAME",
+        help="registry predictor names cycled across the fleet",
+    )
+    fleet_p.add_argument(
+        "--controllers",
+        nargs="+",
+        default=["kansal"],
+        choices=CONTROLLER_KINDS,
+        metavar="KIND",
+        help="controller kinds cycled across the fleet (default kansal)",
+    )
+    fleet_p.add_argument(
+        "--capacities",
+        nargs="+",
+        type=float,
+        default=[250.0],
+        metavar="JOULES",
+        help="storage capacities cycled across the fleet (default 250 J)",
+    )
 
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
     plot_p.add_argument("figure", choices=("fig2", "fig7"))
@@ -179,6 +222,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         run = evaluate_predictor(predictor, trace, args.n)
         print(f"{args.predictor} on {trace.name or 'trace'} at N={args.n}:")
         print(format_summary(summarise(run)))
+        return 0
+
+    if args.command == "fleet":
+        from repro.experiments.fleet import (
+            build_fleet_specs,
+            fleet_result_table,
+            run_fleet,
+        )
+        from repro.metrics import format_fleet_summary, summarise_fleet
+
+        specs = build_fleet_specs(
+            n_nodes=args.nodes,
+            sites=args.sites,
+            n_days=args.days,
+            predictors=args.predictors,
+            controllers=args.controllers,
+            capacities=args.capacities,
+            n_slots=args.n,
+        )
+        result, elapsed = run_fleet(specs, args.n)
+        print(fleet_result_table(result, specs).render())
+        print()
+        print(format_fleet_summary(summarise_fleet(result)))
+        node_slots = result.n_nodes * result.total_slots
+        print(
+            f"throughput: {node_slots:,} node-slots in {elapsed:.2f}s "
+            f"({node_slots / elapsed:,.0f} node-slots/sec)"
+        )
         return 0
 
     if args.command == "plot":

@@ -15,30 +15,45 @@
 * :mod:`repro.core.registry` -- predictor factories by name.
 """
 
-from repro.core.base import OnlinePredictor
-from repro.core.wcma import WCMAParams, WCMAPredictor, WCMABatch
-from repro.core.ewma import EWMAPredictor
+from repro.core.base import OnlinePredictor, VectorPredictor
+from repro.core.wcma import WCMAParams, WCMAPredictor, WCMAVector, WCMABatch
+from repro.core.ewma import EWMAPredictor, EWMAVector
 from repro.core.baselines import (
     MovingAveragePredictor,
+    MovingAverageVector,
     PersistencePredictor,
+    PersistenceVector,
     PreviousDayPredictor,
+    PreviousDayVector,
 )
 from repro.core.proenergy import ProEnergyPredictor
 from repro.core.regression import ARPredictor, SlotLinearTrendPredictor
 from repro.core.optimizer import GridSearchResult, grid_search
 from repro.core.dynamic import DynamicResult, clairvoyant_dynamic
 from repro.core.adaptive import AdaptiveSelector, FollowTheLeaderSelector, EpsilonGreedySelector
-from repro.core.registry import available_predictors, make_predictor
+from repro.core.registry import (
+    available_predictors,
+    make_predictor,
+    make_vector_predictor,
+    supports_vector,
+    vector_predictors,
+)
 
 __all__ = [
     "OnlinePredictor",
+    "VectorPredictor",
     "WCMAParams",
     "WCMAPredictor",
+    "WCMAVector",
     "WCMABatch",
     "EWMAPredictor",
+    "EWMAVector",
     "PersistencePredictor",
+    "PersistenceVector",
     "MovingAveragePredictor",
+    "MovingAverageVector",
     "PreviousDayPredictor",
+    "PreviousDayVector",
     "ProEnergyPredictor",
     "ARPredictor",
     "SlotLinearTrendPredictor",
@@ -50,5 +65,8 @@ __all__ = [
     "FollowTheLeaderSelector",
     "EpsilonGreedySelector",
     "available_predictors",
+    "vector_predictors",
+    "supports_vector",
     "make_predictor",
+    "make_vector_predictor",
 ]

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["OnlinePredictor", "DayHistory"]
+__all__ = ["OnlinePredictor", "VectorPredictor", "DayHistory", "FleetDayHistory"]
 
 
 class OnlinePredictor(abc.ABC):
@@ -64,6 +64,85 @@ class OnlinePredictor(abc.ABC):
         for t, value in enumerate(samples):
             out[t] = self.observe(float(value))
         return out
+
+
+class VectorPredictor(abc.ABC):
+    """Abstract base class for lock-step fleet predictors.
+
+    A vector predictor is the fleet-scale counterpart of
+    :class:`OnlinePredictor`: it advances ``batch_size`` independent
+    nodes through the *same* slot boundary at once.  All nodes share the
+    slot grid (``n_slots`` and the position within the day), but each
+    node sees its own measurement and carries its own history, so a
+    heterogeneous fleet (different sites, different weather) is one
+    ``(B,)`` array per call::
+
+        kernel.reset()
+        for t in range(total_boundaries):
+            predictions = kernel.observe(samples[t])   # (B,) -> (B,)
+
+    Elementwise, a vector kernel must reproduce its scalar counterpart:
+    node ``b`` of ``observe(values)[b]`` equals what a dedicated
+    :class:`OnlinePredictor` fed ``values[b]`` slot by slot would
+    return (``tests/management/test_fleet_parity.py`` enforces this to
+    1e-9 for every built-in predictor).
+    """
+
+    #: Slots per day this predictor was configured for.
+    n_slots: int
+    #: Number of nodes stepped per ``observe`` call (``B``).
+    batch_size: int
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget all history and return to the initial state."""
+
+    @abc.abstractmethod
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        """Consume one ``(B,)`` slot-boundary sample, return predictions.
+
+        Parameters
+        ----------
+        values:
+            ``(batch_size,)`` measured power at the current slot
+            boundary, one entry per node (``ẽ_b(n)``).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch_size,)`` predictions for the upcoming slot
+            (``ê_b(n+1)``).
+        """
+
+    def run(self, samples: np.ndarray) -> np.ndarray:
+        """Feed a ``(T, B)`` sample matrix; return all predictions.
+
+        Row ``t`` of the result is the prediction made at boundary
+        ``t``.  As with :meth:`OnlinePredictor.run`, state is carried
+        across calls; call :meth:`reset` for a cold start.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != self.batch_size:
+            raise ValueError(
+                f"samples must have shape (T, {self.batch_size}), "
+                f"got {samples.shape}"
+            )
+        out = np.empty_like(samples)
+        for t in range(samples.shape[0]):
+            out[t] = self.observe(samples[t])
+        return out
+
+
+def as_batch(values, batch_size: int) -> np.ndarray:
+    """Validate and coerce one slot's fleet samples to a ``(B,)`` array."""
+    values = np.asarray(values, dtype=float)
+    if values.shape != (batch_size,):
+        raise ValueError(
+            f"expected shape ({batch_size},), got {values.shape}"
+        )
+    if (values < 0).any():
+        raise ValueError("power samples must be non-negative")
+    return values
 
 
 class DayHistory:
@@ -135,6 +214,95 @@ class DayHistory:
         if use == 0:
             return np.empty(0, dtype=float)
         return self._recent_rows(use)[:, slot % self.n_slots].copy()
+
+    def _recent_rows(self, count: int) -> np.ndarray:
+        """The last ``count`` completed day rows, oldest first."""
+        end = self._write_row
+        idx = (np.arange(end - count, end)) % self.depth
+        return self._rows[idx]
+
+    def reset(self) -> None:
+        """Clear all state."""
+        self._rows.fill(0.0)
+        self._current.fill(0.0)
+        self._n_complete = 0
+        self._write_row = 0
+        self._slot = 0
+
+
+class FleetDayHistory:
+    """Vectorized :class:`DayHistory`: one ring buffer for ``B`` nodes.
+
+    Because a fleet steps in lock-step, the day/slot counters are shared
+    scalars; only the sample values fan out over the batch axis.  The
+    buffer is therefore ``(depth, n_slots, B)`` and every accessor that
+    returns a per-slot scalar in :class:`DayHistory` returns a ``(B,)``
+    array here.
+    """
+
+    def __init__(self, n_slots: int, depth: int, batch_size: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.n_slots = n_slots
+        self.depth = depth
+        self.batch_size = batch_size
+        self._rows = np.zeros((depth, n_slots, batch_size), dtype=float)
+        self._n_complete = 0
+        self._write_row = 0
+        self._current = np.zeros((n_slots, batch_size), dtype=float)
+        self._slot = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_complete_days(self) -> int:
+        """Number of fully observed days available (capped at ``depth``)."""
+        return min(self._n_complete, self.depth)
+
+    @property
+    def total_days_completed(self) -> int:
+        """Days completed since reset (uncapped; grows forever)."""
+        return self._n_complete
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the next slot to be written on the current day."""
+        return self._slot
+
+    def push_slot(self, values: np.ndarray) -> None:
+        """Record the ``(B,)`` start-of-slot samples for the current slot."""
+        self._current[self._slot] = values
+        self._slot += 1
+        if self._slot == self.n_slots:
+            self._rows[self._write_row] = self._current
+            self._write_row = (self._write_row + 1) % self.depth
+            self._n_complete += 1
+            self._slot = 0
+
+    def slot_mean(self, slot: int, depth: Optional[int] = None) -> np.ndarray:
+        """Per-node mean of ``slot`` over the last ``depth`` complete days.
+
+        ``(B,)``; NaN when no complete day is available yet.
+        """
+        use = self.n_complete_days if depth is None else min(depth, self.n_complete_days)
+        if use == 0:
+            return np.full(self.batch_size, np.nan)
+        rows = self._recent_rows(use)
+        return rows[:, slot % self.n_slots, :].mean(axis=0)
+
+    def mu_rows(self, depth: Optional[int] = None) -> Optional[np.ndarray]:
+        """Per-node ``μ_D`` over every slot: ``(n_slots, B)`` or None.
+
+        The fleet counterpart of the cached ``_mu_row`` the online WCMA
+        predictor recomputes once per day.
+        """
+        use = self.n_complete_days if depth is None else min(depth, self.n_complete_days)
+        if use == 0:
+            return None
+        return self._recent_rows(use).mean(axis=0)
 
     def _recent_rows(self, count: int) -> np.ndarray:
         """The last ``count`` completed day rows, oldest first."""

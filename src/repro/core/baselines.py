@@ -16,12 +16,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import DayHistory, OnlinePredictor
+from repro.core.base import (
+    DayHistory,
+    FleetDayHistory,
+    OnlinePredictor,
+    VectorPredictor,
+    as_batch,
+)
 
 __all__ = [
     "PersistencePredictor",
     "PreviousDayPredictor",
     "MovingAveragePredictor",
+    "PersistenceVector",
+    "PreviousDayVector",
+    "MovingAverageVector",
 ]
 
 
@@ -95,3 +104,78 @@ class MovingAveragePredictor(OnlinePredictor):
             prediction = value
         self._history.push_slot(value)
         return float(prediction)
+
+
+class PersistenceVector(VectorPredictor):
+    """Lock-step :class:`PersistencePredictor` over ``B`` nodes."""
+
+    def __init__(self, n_slots: int, batch_size: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.n_slots = n_slots
+        self.batch_size = batch_size
+
+    def reset(self) -> None:
+        pass  # stateless
+
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        return as_batch(values, self.batch_size).copy()
+
+
+class PreviousDayVector(VectorPredictor):
+    """Lock-step :class:`PreviousDayPredictor` over ``B`` nodes."""
+
+    def __init__(self, n_slots: int, batch_size: int):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.n_slots = n_slots
+        self.batch_size = batch_size
+        self._history = FleetDayHistory(n_slots=n_slots, depth=1, batch_size=batch_size)
+
+    def reset(self) -> None:
+        self._history.reset()
+
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        values = as_batch(values, self.batch_size)
+        slot = self._history.current_slot
+        if self._history.n_complete_days > 0:
+            prediction = self._history.slot_mean(slot + 1, 1)
+        else:
+            prediction = values.copy()
+        self._history.push_slot(values)
+        return prediction
+
+
+class MovingAverageVector(VectorPredictor):
+    """Lock-step :class:`MovingAveragePredictor` over ``B`` nodes."""
+
+    def __init__(self, n_slots: int, batch_size: int, days: int = 10):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        self.n_slots = n_slots
+        self.batch_size = batch_size
+        self.days = days
+        self._history = FleetDayHistory(
+            n_slots=n_slots, depth=days, batch_size=batch_size
+        )
+
+    def reset(self) -> None:
+        self._history.reset()
+
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        values = as_batch(values, self.batch_size)
+        slot = self._history.current_slot
+        if self._history.n_complete_days > 0:
+            prediction = self._history.slot_mean(slot + 1, self.days)
+        else:
+            prediction = values.copy()
+        self._history.push_slot(values)
+        return prediction

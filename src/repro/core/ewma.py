@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import OnlinePredictor
+from repro.core.base import OnlinePredictor, VectorPredictor, as_batch
 
-__all__ = ["EWMAPredictor"]
+__all__ = ["EWMAPredictor", "EWMAVector"]
 
 
 class EWMAPredictor(OnlinePredictor):
@@ -70,3 +70,51 @@ class EWMAPredictor(OnlinePredictor):
             prediction = value  # warm-up: persistence until history exists
         self._slot = next_slot
         return float(prediction)
+
+
+class EWMAVector(VectorPredictor):
+    """Lock-step EWMA over a batch of ``B`` independent nodes.
+
+    The per-slot averages grow a trailing batch axis (``(N, B)``); the
+    "slot seen yet" flags stay per slot because every node observes the
+    same slots in the same order.  Elementwise this matches
+    :class:`EWMAPredictor` exactly.
+    """
+
+    def __init__(self, n_slots: int, batch_size: int, gamma: float = 0.5):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        self.n_slots = n_slots
+        self.batch_size = batch_size
+        self.gamma = gamma
+        self._averages = np.zeros((n_slots, batch_size), dtype=float)
+        self._seen = np.zeros(n_slots, dtype=bool)
+        self._slot = 0
+
+    def reset(self) -> None:
+        self._averages.fill(0.0)
+        self._seen.fill(False)
+        self._slot = 0
+
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        values = as_batch(values, self.batch_size)
+        slot = self._slot
+        if self._seen[slot]:
+            self._averages[slot] = (
+                self.gamma * values + (1.0 - self.gamma) * self._averages[slot]
+            )
+        else:
+            self._averages[slot] = values
+            self._seen[slot] = True
+
+        next_slot = (slot + 1) % self.n_slots
+        if self._seen[next_slot]:
+            prediction = self._averages[next_slot].copy()
+        else:
+            prediction = values.copy()  # warm-up: persistence
+        self._slot = next_slot
+        return prediction

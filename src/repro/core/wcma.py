@@ -19,11 +19,15 @@ over the last *D* days (Eq. 2) and the conditioning factor
     \\eta(k) = \\frac{\\tilde e(n-K+k)}{\\mu_D(n-K+k)},\\qquad
     \\theta(k) = k/K.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :class:`WCMAPredictor` -- the *online* form a sensor node would run:
   O(D + K) state, one :meth:`observe` call per slot.  Used by the node
   simulation and the fixed-point hardware model.
+* :class:`WCMAVector` -- the same online recurrence over a ``(B,)``
+  batch of independent nodes in lock-step, used by the fleet simulator
+  (:mod:`repro.management.fleet`).  Elementwise it matches
+  :class:`WCMAPredictor` (parity-tested to 1e-9).
 * :class:`WCMABatch` -- a vectorized engine over a whole trace, used by
   the parameter sweeps (Tables II, III, V; Fig. 7), where thousands of
   (alpha, D, K) combinations must be scored.
@@ -51,12 +55,19 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.core.base import DayHistory, OnlinePredictor
+from repro.core.base import (
+    DayHistory,
+    FleetDayHistory,
+    OnlinePredictor,
+    VectorPredictor,
+    as_batch,
+)
 from repro.solar.slots import SlotView
 
 __all__ = [
     "WCMAParams",
     "WCMAPredictor",
+    "WCMAVector",
     "WCMABatch",
     "mu_matrix",
     "MU_EPS",
@@ -215,6 +226,103 @@ class WCMAPredictor(OnlinePredictor):
         if n_have:
             etas[k_param - n_have :] = list(self._recent_eta)
         return float(np.dot(self._theta, etas) / self._theta_sum)
+
+
+class WCMAVector(VectorPredictor):
+    """Lock-step WCMA over a batch of ``B`` independent nodes.
+
+    State mirrors :class:`WCMAPredictor` with a trailing batch axis:
+    the history matrix is ``(D, N, B)``, the ``η`` ring buffer is
+    ``(K, B)`` (pre-filled with the neutral 1.0, matching the scalar
+    predictor's padding of missing ratios), and the dawn-guard floor is
+    per node.  The slot/day counters are shared scalars because every
+    node crosses the same boundary at once.
+
+    Parameters are shared across the batch; a heterogeneous fleet mixes
+    parameter sets by running one :class:`WCMAVector` per distinct
+    configuration (this is what :class:`~repro.management.fleet.FleetSimulator`
+    does when it groups nodes).
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        params: WCMAParams,
+        batch_size: int,
+        eta_floor_fraction: float = ETA_FLOOR_FRACTION,
+    ):
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0.0 <= eta_floor_fraction < 1.0:
+            raise ValueError(
+                f"eta_floor_fraction must be in [0, 1), got {eta_floor_fraction}"
+            )
+        self.n_slots = n_slots
+        self.params = params
+        self.batch_size = batch_size
+        self.eta_floor_fraction = eta_floor_fraction
+        self._history = FleetDayHistory(
+            n_slots=n_slots, depth=params.days, batch_size=batch_size
+        )
+        self._theta = WCMAParams.theta(params.k)
+        self._theta_sum = float(self._theta.sum())
+        self._recent_eta = np.ones((params.k, batch_size), dtype=float)
+        self._mu_rows: np.ndarray = None  # (N, B); fixed within a day
+        self._eta_floor = np.zeros(batch_size, dtype=float)
+        self._mu_days_seen = 0
+
+    def reset(self) -> None:
+        self._history.reset()
+        self._recent_eta.fill(1.0)
+        self._mu_rows = None
+        self._eta_floor.fill(0.0)
+        self._mu_days_seen = 0
+
+    def _refresh_mu(self) -> None:
+        completed = self._history.total_days_completed
+        if completed == self._mu_days_seen:
+            return
+        self._mu_days_seen = completed
+        self._mu_rows = self._history.mu_rows(self.params.days)
+        if self._mu_rows is None:
+            self._eta_floor.fill(0.0)
+            return
+        self._eta_floor = np.maximum(
+            self.eta_floor_fraction * self._mu_rows.max(axis=0), MU_EPS
+        )
+
+    def observe(self, values: np.ndarray) -> np.ndarray:
+        values = as_batch(values, self.batch_size)
+        self._refresh_mu()
+        slot = self._history.current_slot
+        have_history = self._mu_rows is not None
+
+        if have_history:
+            mu_now = self._mu_rows[slot]
+            bright = mu_now >= self._eta_floor
+            eta_now = np.ones(self.batch_size, dtype=float)
+            np.divide(values, mu_now, out=eta_now, where=bright)
+        else:
+            eta_now = np.ones(self.batch_size, dtype=float)
+        # Roll the (K, B) ring: oldest ratio falls off the front, the
+        # newest lands at the back where theta(K) = 1 weights it most.
+        self._recent_eta[:-1] = self._recent_eta[1:]
+        self._recent_eta[-1] = eta_now
+
+        if have_history:
+            mu_next = self._mu_rows[(slot + 1) % self.n_slots]
+            phi = self._theta @ self._recent_eta / self._theta_sum
+            prediction = (
+                self.params.alpha * values
+                + (1.0 - self.params.alpha) * mu_next * phi
+            )
+        else:
+            prediction = values.copy()  # warm-up: pure persistence
+
+        self._history.push_slot(values)
+        return prediction
 
 
 def mu_matrix(starts: np.ndarray, days: int) -> np.ndarray:

@@ -9,8 +9,9 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.wcma import WCMABatch
 from repro.solar.datasets import build_dataset
@@ -19,6 +20,7 @@ from repro.solar.sites import SITE_ORDER
 __all__ = [
     "DEFAULT_N_DAYS",
     "PAPER_N_VALUES",
+    "BATCH_CACHE_MAX_ENTRIES",
     "ExperimentResult",
     "batch_for",
     "clear_batch_cache",
@@ -33,16 +35,33 @@ DEFAULT_N_DAYS = 365
 #: Sampling rates evaluated in Table III.
 PAPER_N_VALUES = (288, 96, 72, 48, 24)
 
-_BATCH_CACHE: Dict[Tuple[str, int, int], WCMABatch] = {}
+#: LRU bound on the memoised batch engines.  A WCMABatch holds the full
+#: flattened trace plus per-(D, K) conditioned-term caches, so an
+#: unbounded dict grows without limit during long sweeps over many
+#: (site, days, N) keys; eight entries cover a whole per-site experiment
+#: (the five paper N values plus slack) while keeping memory flat.
+BATCH_CACHE_MAX_ENTRIES = 8
+
+_BATCH_CACHE: "OrderedDict[Tuple[str, int, int], WCMABatch]" = OrderedDict()
 
 
 def batch_for(site: str, n_days: int, n_slots: int) -> WCMABatch:
-    """Memoised batch engine for one (site, trace length, N)."""
+    """Memoised batch engine for one (site, trace length, N).
+
+    The memo is a small LRU (:data:`BATCH_CACHE_MAX_ENTRIES`): a hit
+    refreshes the entry, a miss beyond the bound evicts the least
+    recently used batch.
+    """
     key = (site.upper(), n_days, n_slots)
-    if key not in _BATCH_CACHE:
-        trace = build_dataset(site, n_days=n_days)
-        _BATCH_CACHE[key] = WCMABatch.from_trace(trace, n_slots)
-    return _BATCH_CACHE[key]
+    if key in _BATCH_CACHE:
+        _BATCH_CACHE.move_to_end(key)
+        return _BATCH_CACHE[key]
+    trace = build_dataset(site, n_days=n_days)
+    batch = WCMABatch.from_trace(trace, n_slots)
+    _BATCH_CACHE[key] = batch
+    while len(_BATCH_CACHE) > BATCH_CACHE_MAX_ENTRIES:
+        _BATCH_CACHE.popitem(last=False)
+    return batch
 
 
 def clear_batch_cache() -> None:

@@ -1,0 +1,181 @@
+"""Fleet-scale node-management experiment harness (extension).
+
+Builds heterogeneous fleets -- nodes cycled over sites, predictors and
+battery capacities -- runs them through the lock-step
+:class:`~repro.management.fleet.FleetSimulator`, and digests the result
+into per-predictor rows.  Used by the ``repro-solar fleet`` CLI
+subcommand, ``examples/fleet_simulation.py`` and the fleet benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, sites_for
+from repro.management.consumer import DutyCycledLoad
+from repro.management.controller import (
+    Controller,
+    FixedDutyController,
+    KansalController,
+    MinimumVarianceController,
+    OracleController,
+)
+from repro.management.fleet import FleetNodeSpec, FleetRunResult, FleetSimulator
+from repro.management.harvester import PVHarvester
+from repro.management.storage import Battery, Supercapacitor
+from repro.solar.datasets import build_dataset
+
+__all__ = [
+    "CONTROLLER_KINDS",
+    "DEFAULT_FLEET_LOAD",
+    "build_fleet_specs",
+    "make_controller",
+    "run_fleet",
+    "fleet_result_table",
+]
+
+#: Mote-class load shared by the fleet experiments (matches the
+#: node-management benchmark's provisioning).
+DEFAULT_FLEET_LOAD = DutyCycledLoad(active_power_watts=40e-3, sleep_power_watts=40e-6)
+
+#: Controller kinds the fleet harness can build by name.
+CONTROLLER_KINDS = ("kansal", "minvar", "fixed", "oracle")
+
+
+def make_controller(
+    kind: str,
+    capacity_joules: float,
+    load: DutyCycledLoad = DEFAULT_FLEET_LOAD,
+    target_soc: float = 0.6,
+) -> Controller:
+    """Instantiate one of :data:`CONTROLLER_KINDS` for one node."""
+    kind = kind.lower()
+    if kind == "kansal":
+        return KansalController(load, capacity_joules, target_soc=target_soc)
+    if kind == "minvar":
+        return MinimumVarianceController(load, capacity_joules, target_soc=target_soc)
+    if kind == "fixed":
+        return FixedDutyController(0.5)
+    if kind == "oracle":
+        return OracleController(load, capacity_joules, target_soc=target_soc)
+    raise ValueError(f"unknown controller {kind!r}; available: {CONTROLLER_KINDS}")
+
+
+def build_fleet_specs(
+    n_nodes: int,
+    sites: Optional[Sequence[str]] = ("SPMD",),
+    n_days: int = 30,
+    predictors: Sequence[str] = ("wcma",),
+    controllers: Sequence[str] = ("kansal",),
+    capacities: Sequence[float] = (250.0,),
+    n_slots: int = 48,
+    panel_area_m2: float = 25e-4,
+    load: DutyCycledLoad = DEFAULT_FLEET_LOAD,
+    supercap_threshold_joules: float = 1000.0,
+) -> List[FleetNodeSpec]:
+    """A heterogeneous fleet: node ``i`` cycles through every axis.
+
+    The axes (predictor, controller kind, capacity, site) are
+    enumerated mixed-radix -- the predictor varies fastest, the site
+    slowest -- so equal-length axes do not alias (plain round-robin
+    would pair predictor ``j`` with controller ``j`` forever) and a
+    large enough fleet covers every combination.  Stores below
+    ``supercap_threshold_joules`` are modelled as supercapacitors,
+    larger ones as batteries.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    site_list = sites_for(tuple(sites) if sites is not None else None)
+    traces = {site: build_dataset(site, n_days=n_days) for site in site_list}
+    # Fail on a bad (site, N) pairing before any simulation work, and
+    # cheaply -- without building the simulator twice.
+    for site, trace in traces.items():
+        if n_slots <= 0 or trace.samples_per_day % n_slots:
+            raise ValueError(
+                f"N={n_slots} does not divide samples per day "
+                f"({trace.samples_per_day}) of site {site}"
+            )
+    specs: List[FleetNodeSpec] = []
+    for i in range(n_nodes):
+        digits = i
+        predictor = predictors[digits % len(predictors)]
+        digits //= len(predictors)
+        controller_kind = controllers[digits % len(controllers)]
+        digits //= len(controllers)
+        capacity = float(capacities[digits % len(capacities)])
+        digits //= len(capacities)
+        site = site_list[digits % len(site_list)]
+        store_cls = Supercapacitor if capacity < supercap_threshold_joules else Battery
+        specs.append(
+            FleetNodeSpec(
+                trace=traces[site],
+                controller=make_controller(controller_kind, capacity, load=load),
+                predictor=predictor,
+                harvester=PVHarvester(area_m2=panel_area_m2),
+                storage=store_cls(capacity_joules=capacity, initial_soc=0.5),
+                load=load,
+                name=f"{site.lower()}-{predictor}-{controller_kind}-{i}",
+            )
+        )
+    return specs
+
+
+def run_fleet(
+    specs: Sequence[FleetNodeSpec], n_slots: int
+) -> Tuple[FleetRunResult, float]:
+    """Run the fleet; returns (result, wall-clock seconds)."""
+    simulator = FleetSimulator(specs, n_slots)
+    start = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def fleet_result_table(
+    result: FleetRunResult, specs: Sequence[FleetNodeSpec]
+) -> ExperimentResult:
+    """Per-predictor aggregate rows of one fleet run.
+
+    Groups nodes by predictor label and reports the duty / downtime /
+    waste aggregates per group -- the fleet-scale version of the
+    node-management benchmark's comparison table.
+    """
+    by_predictor: Dict[str, List[int]] = {}
+    for i, spec in enumerate(specs):
+        by_predictor.setdefault(spec.predictor_label(), []).append(i)
+    rows = []
+    for label in sorted(by_predictor):
+        idx = np.array(by_predictor[label], dtype=np.intp)
+        harvest = float(result.harvested_joules[:, idx].sum())
+        wasted = float(result.wasted_joules[:, idx].sum())
+        rows.append(
+            {
+                "predictor": label,
+                "nodes": int(idx.size),
+                "mean duty %": 100.0 * float(result.duty_achieved[:, idx].mean()),
+                "downtime %": 100.0
+                * float((result.shortfall_joules[:, idx] > 0).mean()),
+                "waste %": 100.0 * (wasted / harvest if harvest > 0 else 0.0),
+                "mean final soc %": 100.0 * float(result.final_soc[idx].mean()),
+            }
+        )
+    return ExperimentResult(
+        experiment="fleet",
+        title=(
+            f"fleet simulation: {result.n_nodes} nodes x "
+            f"{result.total_slots} slots (N={result.n_slots})"
+        ),
+        headers=[
+            "predictor",
+            "nodes",
+            "mean duty %",
+            "downtime %",
+            "waste %",
+            "mean final soc %",
+        ],
+        rows=rows,
+        meta={"n_nodes": result.n_nodes, "total_slots": result.total_slots},
+    )

@@ -16,8 +16,45 @@ simulated end to end:
   et al.'s energy-neutral adaptation [2] and a Noh-style
   minimum-variance allocation [4], plus an oracle and a fixed-duty
   baseline.
-* :mod:`repro.management.node` -- the slot-by-slot node simulation
-  tying everything to a solar trace and a predictor.
+* :mod:`repro.management.node` -- the slot-by-slot single-node
+  simulation tying everything to a solar trace and a predictor.
+* :mod:`repro.management.fleet` -- the lock-step fleet engine stepping
+  many nodes at once (see below).
+
+Fleet simulation
+----------------
+
+All the physical models above are elementwise: their parameters and
+method arguments accept ``(B,)`` arrays as well as scalars, and each
+has a ``stack`` classmethod merging ``B`` scalar-configured instances
+into one array-parameterised instance.  :class:`FleetSimulator` builds
+on that to step a heterogeneous fleet -- mixed sites, predictors,
+controllers, battery sizes -- through every slot boundary in lock-step,
+replacing ``B`` Python loops with a handful of ``(B,)`` numpy
+operations per slot (20x+ faster at 256 nodes)::
+
+    from repro.management import (
+        FleetNodeSpec, FleetSimulator, KansalController, DutyCycledLoad,
+    )
+    load = DutyCycledLoad()
+    specs = [
+        FleetNodeSpec(
+            trace=trace,                      # per-node site trace
+            controller=KansalController(load, 9000.0),
+            predictor="wcma",                 # vector kernel via registry
+            predictor_kwargs={"alpha": 0.7, "days": 10, "k": 2},
+        )
+        for trace in traces
+    ]
+    result = FleetSimulator(specs, n_slots=48).run()
+    result.summary()                # fleet aggregates
+    result.downtime_fraction        # (B,) per-node metric
+    result.node_result(3)           # one node's full NodeRunResult
+
+Per-node outputs match ``B`` independent ``SensorNodeSimulation`` runs
+elementwise (parity-tested to 1e-9); ``SensorNodeSimulation`` itself is
+the ``B = 1`` front-end of the same engine.  ``examples/fleet_simulation.py``
+runs a 100-node heterogeneous fleet end to end.
 """
 
 from repro.management.harvester import PVHarvester
@@ -31,6 +68,7 @@ from repro.management.controller import (
     OracleController,
 )
 from repro.management.planning import ProfilePlanningController
+from repro.management.fleet import FleetNodeSpec, FleetRunResult, FleetSimulator
 from repro.management.node import NodeRunResult, SensorNodeSimulation
 
 __all__ = [
@@ -44,6 +82,9 @@ __all__ = [
     "MinimumVarianceController",
     "OracleController",
     "ProfilePlanningController",
+    "FleetNodeSpec",
+    "FleetRunResult",
+    "FleetSimulator",
     "NodeRunResult",
     "SensorNodeSimulation",
 ]

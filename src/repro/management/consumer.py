@@ -4,11 +4,19 @@ The embedded application of Fig. 1 is modelled the way the
 energy-management papers this work supports do ([2], [3]): the node is
 *active* (sensing + radio) for a controllable fraction of each slot and
 asleep otherwise.  The controller's knob is the duty cycle.
+
+As with the storage models, every attribute and every method argument
+may be a scalar or a ``(B,)`` array; :meth:`DutyCycledLoad.stack` merges
+``B`` scalar-configured loads into one array-parameterised instance for
+the fleet simulator.  All arithmetic is elementwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 __all__ = ["DutyCycledLoad"]
 
@@ -36,37 +44,61 @@ class DutyCycledLoad:
     max_duty: float = 1.0
 
     def __post_init__(self):
-        if self.active_power_watts <= 0:
+        if np.any(np.asarray(self.active_power_watts) <= 0):
             raise ValueError("active_power_watts must be positive")
-        if self.sleep_power_watts < 0:
+        if np.any(np.asarray(self.sleep_power_watts) < 0):
             raise ValueError("sleep_power_watts must be non-negative")
-        if self.active_power_watts <= self.sleep_power_watts:
+        if np.any(
+            np.asarray(self.active_power_watts) <= np.asarray(self.sleep_power_watts)
+        ):
             raise ValueError("active power must exceed sleep power")
-        if not 0.0 <= self.min_duty <= self.max_duty <= 1.0:
+        min_duty = np.asarray(self.min_duty)
+        max_duty = np.asarray(self.max_duty)
+        if (
+            np.any(min_duty < 0.0)
+            or np.any(min_duty > max_duty)
+            or np.any(max_duty > 1.0)
+        ):
             raise ValueError("require 0 <= min_duty <= max_duty <= 1")
 
-    def clamp(self, duty: float) -> float:
-        """Clamp a requested duty cycle to the allowed range."""
-        return max(self.min_duty, min(self.max_duty, duty))
+    @classmethod
+    def stack(cls, loads: Sequence["DutyCycledLoad"]) -> "DutyCycledLoad":
+        """One array-parameterised load modelling ``len(loads)`` nodes."""
+        if not loads:
+            raise ValueError("stack requires at least one load")
+        return cls(
+            active_power_watts=np.array(
+                [l.active_power_watts for l in loads], dtype=float
+            ),
+            sleep_power_watts=np.array(
+                [l.sleep_power_watts for l in loads], dtype=float
+            ),
+            min_duty=np.array([l.min_duty for l in loads], dtype=float),
+            max_duty=np.array([l.max_duty for l in loads], dtype=float),
+        )
 
-    def power(self, duty: float) -> float:
+    def clamp(self, duty):
+        """Clamp a requested duty cycle to the allowed range."""
+        return np.maximum(self.min_duty, np.minimum(self.max_duty, duty))
+
+    def power(self, duty):
         """Average power (W) at a duty cycle (after clamping)."""
         duty = self.clamp(duty)
         return duty * self.active_power_watts + (1.0 - duty) * self.sleep_power_watts
 
-    def energy(self, duty: float, seconds: float) -> float:
+    def energy(self, duty, seconds: float):
         """Energy (J) consumed over ``seconds`` at a duty cycle."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         return self.power(duty) * seconds
 
-    def duty_for_power(self, watts: float) -> float:
+    def duty_for_power(self, watts):
         """Duty cycle whose average power equals ``watts`` (clamped).
 
         Inverse of :meth:`power`; the controllers use it to convert an
         energy budget into a duty-cycle setting.
         """
-        if watts < 0:
+        if np.any(np.asarray(watts) < 0):
             raise ValueError("watts must be non-negative")
         span = self.active_power_watts - self.sleep_power_watts
         duty = (watts - self.sleep_power_watts) / span

@@ -27,6 +27,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.management.consumer import DutyCycledLoad
 
@@ -40,7 +43,13 @@ __all__ = [
 
 
 class Controller(abc.ABC):
-    """Per-slot duty-cycle policy."""
+    """Per-slot duty-cycle policy.
+
+    The four built-in controllers are fully elementwise: parameters and
+    ``decide`` arguments may be scalars or ``(B,)`` arrays, and
+    :meth:`stack` merges ``B`` scalar-configured controllers into one
+    array-parameterised instance (the fleet simulator's fast path).
+    """
 
     @abc.abstractmethod
     def decide(self, predicted_watts: float, state_of_charge: float) -> float:
@@ -73,8 +82,14 @@ class FixedDutyController(Controller):
     duty: float = 0.2
 
     def __post_init__(self):
-        if not 0.0 <= self.duty <= 1.0:
+        duty = np.asarray(self.duty)
+        if np.any(duty < 0.0) or np.any(duty > 1.0):
             raise ValueError("duty must be in [0, 1]")
+
+    @classmethod
+    def stack(cls, controllers: Sequence["FixedDutyController"]) -> "FixedDutyController":
+        """One array-parameterised controller for ``len(controllers)`` nodes."""
+        return cls(duty=np.array([c.duty for c in controllers], dtype=float))
 
     def decide(self, predicted_watts: float, state_of_charge: float) -> float:
         return self.duty
@@ -111,13 +126,14 @@ class KansalController(Controller):
         correction_gain: float = 1.0,
         horizon_seconds: float = 86_400.0,
     ):
-        if capacity_joules <= 0:
+        if np.any(np.asarray(capacity_joules) <= 0):
             raise ValueError("capacity_joules must be positive")
-        if not 0.0 <= target_soc <= 1.0:
+        target = np.asarray(target_soc)
+        if np.any(target < 0.0) or np.any(target > 1.0):
             raise ValueError("target_soc must be in [0, 1]")
-        if correction_gain < 0:
+        if np.any(np.asarray(correction_gain) < 0):
             raise ValueError("correction_gain must be non-negative")
-        if horizon_seconds <= 0:
+        if np.any(np.asarray(horizon_seconds) <= 0):
             raise ValueError("horizon_seconds must be positive")
         self.load = load
         self.capacity_joules = capacity_joules
@@ -125,8 +141,25 @@ class KansalController(Controller):
         self.correction_gain = correction_gain
         self.horizon_seconds = horizon_seconds
 
+    @classmethod
+    def stack(cls, controllers: Sequence["KansalController"]) -> "KansalController":
+        """One array-parameterised controller for ``len(controllers)`` nodes."""
+        return cls(
+            load=DutyCycledLoad.stack([c.load for c in controllers]),
+            capacity_joules=np.array(
+                [c.capacity_joules for c in controllers], dtype=float
+            ),
+            target_soc=np.array([c.target_soc for c in controllers], dtype=float),
+            correction_gain=np.array(
+                [c.correction_gain for c in controllers], dtype=float
+            ),
+            horizon_seconds=np.array(
+                [c.horizon_seconds for c in controllers], dtype=float
+            ),
+        )
+
     def decide(self, predicted_watts: float, state_of_charge: float) -> float:
-        if predicted_watts < 0:
+        if np.any(np.asarray(predicted_watts) < 0):
             raise ValueError("predicted_watts must be non-negative")
         correction = (
             self.correction_gain
@@ -134,7 +167,7 @@ class KansalController(Controller):
             * self.capacity_joules
             / self.horizon_seconds
         )
-        budget = max(0.0, predicted_watts + correction)
+        budget = np.maximum(0.0, predicted_watts + correction)
         return self.load.duty_for_power(budget)
 
 
@@ -157,15 +190,17 @@ class MinimumVarianceController(Controller):
         correction_gain: float = 0.5,
         horizon_seconds: float = 86_400.0,
     ):
-        if capacity_joules <= 0:
+        if np.any(np.asarray(capacity_joules) <= 0):
             raise ValueError("capacity_joules must be positive")
-        if not 0.0 < smoothing <= 1.0:
+        smoothing_arr = np.asarray(smoothing)
+        if np.any(smoothing_arr <= 0.0) or np.any(smoothing_arr > 1.0):
             raise ValueError("smoothing must be in (0, 1]")
-        if not 0.0 <= target_soc <= 1.0:
+        target = np.asarray(target_soc)
+        if np.any(target < 0.0) or np.any(target > 1.0):
             raise ValueError("target_soc must be in [0, 1]")
-        if correction_gain < 0:
+        if np.any(np.asarray(correction_gain) < 0):
             raise ValueError("correction_gain must be non-negative")
-        if horizon_seconds <= 0:
+        if np.any(np.asarray(horizon_seconds) <= 0):
             raise ValueError("horizon_seconds must be positive")
         self.load = load
         self.capacity_joules = capacity_joules
@@ -175,14 +210,36 @@ class MinimumVarianceController(Controller):
         self.horizon_seconds = horizon_seconds
         self._average_watts = None
 
+    @classmethod
+    def stack(
+        cls, controllers: Sequence["MinimumVarianceController"]
+    ) -> "MinimumVarianceController":
+        """One array-parameterised controller for ``len(controllers)`` nodes."""
+        return cls(
+            load=DutyCycledLoad.stack([c.load for c in controllers]),
+            capacity_joules=np.array(
+                [c.capacity_joules for c in controllers], dtype=float
+            ),
+            target_soc=np.array([c.target_soc for c in controllers], dtype=float),
+            smoothing=np.array([c.smoothing for c in controllers], dtype=float),
+            correction_gain=np.array(
+                [c.correction_gain for c in controllers], dtype=float
+            ),
+            horizon_seconds=np.array(
+                [c.horizon_seconds for c in controllers], dtype=float
+            ),
+        )
+
     def reset(self) -> None:
         self._average_watts = None
 
     def decide(self, predicted_watts: float, state_of_charge: float) -> float:
-        if predicted_watts < 0:
+        if np.any(np.asarray(predicted_watts) < 0):
             raise ValueError("predicted_watts must be non-negative")
         if self._average_watts is None:
-            self._average_watts = predicted_watts
+            # `+ 0.0` copies an array argument so later in-place updates
+            # never alias the caller's buffer.
+            self._average_watts = predicted_watts + 0.0
         else:
             self._average_watts += self.smoothing * (
                 predicted_watts - self._average_watts
@@ -193,7 +250,7 @@ class MinimumVarianceController(Controller):
             * self.capacity_joules
             / self.horizon_seconds
         )
-        budget = max(0.0, self._average_watts + correction)
+        budget = np.maximum(0.0, self._average_watts + correction)
         return self.load.duty_for_power(budget)
 
 

@@ -59,8 +59,18 @@ class PVHarvester:
         result = irradiance * self.gain
         return float(result) if result.ndim == 0 else result
 
-    def energy(self, irradiance_wm2, seconds: float) -> float:
-        """Energy (J) harvested at constant irradiance for ``seconds``."""
+    def energy(self, irradiance_wm2, seconds: float):
+        """Energy (J) harvested at constant irradiance for ``seconds``.
+
+        Scalar irradiance gives a float; a ``(B,)`` array gives per-node
+        energies.
+        """
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        return float(np.asarray(self.power(irradiance_wm2)) * seconds)
+        result = np.asarray(self.power(irradiance_wm2)) * seconds
+        return float(result) if result.ndim == 0 else result
+
+    @staticmethod
+    def stack_gains(harvesters) -> np.ndarray:
+        """Per-node ``gain`` array for a sequence of harvesters."""
+        return np.array([h.gain for h in harvesters], dtype=float)

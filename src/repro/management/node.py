@@ -10,6 +10,10 @@ Per slot, mirroring the paper's operating sequence:
 4. bookkeeping: achieved duty (reduced pro rata if the store ran dry),
    overflow (energy wasted against a full store), downtime.
 
+The stepping itself lives in the fleet engine
+(:mod:`repro.management.fleet`); :class:`SensorNodeSimulation` is the
+single-node (``B = 1``) front-end preserved for the original API.
+
 The result object summarises the metrics the energy-management papers
 care about: mean achieved duty, duty variance (Noh's objective),
 downtime fraction, waste fraction.
@@ -23,7 +27,8 @@ import numpy as np
 
 from repro.core.base import OnlinePredictor
 from repro.management.consumer import DutyCycledLoad
-from repro.management.controller import Controller, OracleController
+from repro.management.controller import Controller
+from repro.management.fleet import FleetNodeSpec, FleetSimulator
 from repro.management.harvester import PVHarvester
 from repro.management.storage import Battery
 from repro.solar.slots import SlotView
@@ -90,6 +95,18 @@ class NodeRunResult:
 class SensorNodeSimulation:
     """Wire trace + harvester + storage + load + predictor + controller.
 
+    A thin ``B = 1`` front-end over
+    :class:`~repro.management.fleet.FleetSimulator`: the fleet engine
+    owns the stepping, this class preserves the original single-node
+    API (and its elementwise arithmetic is identical, so results match
+    the historical scalar loop).
+
+    One behavioural difference from the historical loop: the fleet
+    engine steps *copies* of the predictor/controller/storage it is
+    given, so ``run()`` no longer mutates the instances passed in and
+    calling it twice yields two identical, independent runs (the old
+    loop drained the shared storage across runs).
+
     Parameters
     ----------
     trace:
@@ -100,8 +117,9 @@ class SensorNodeSimulation:
         Any :class:`~repro.core.base.OnlinePredictor`; it sees the
         slot-start *irradiance* samples (W/m^2), as in the paper.
     controller:
-        Duty-cycle policy; an :class:`OracleController` is automatically
-        fed the true slot mean instead of the prediction.
+        Duty-cycle policy; an
+        :class:`~repro.management.controller.OracleController` is
+        automatically fed the true slot mean instead of the prediction.
     harvester, storage, load:
         Physical models; defaults give a plausible mote.
     """
@@ -123,62 +141,34 @@ class SensorNodeSimulation:
         self.harvester = harvester if harvester is not None else PVHarvester()
         self.storage = storage if storage is not None else Battery()
         self.load = load if load is not None else DutyCycledLoad()
+        self._fleet = None
+        self._fleet_components = None
 
     def run(self) -> NodeRunResult:
         """Simulate every slot of the trace; returns the full record."""
-        starts = self.view.flat_starts()
-        means = self.view.flat_means()
-        slot_seconds = self.view.slot_duration_hours * 3600.0
-        total = starts.size
-
-        self.predictor.reset()
-        self.controller.reset()
-        oracle = isinstance(self.controller, OracleController)
-
-        duty_requested = np.empty(total)
-        duty_achieved = np.empty(total)
-        soc = np.empty(total)
-        harvested = np.empty(total)
-        consumed = np.empty(total)
-        wasted = np.empty(total)
-        shortfall = np.empty(total)
-
-        for t in range(total):
-            predicted_irradiance = self.predictor.observe(float(starts[t]))
-            if oracle:
-                predicted_power = self.harvester.power(float(means[t]))
-            else:
-                predicted_power = self.harvester.power(
-                    max(0.0, predicted_irradiance)
-                )
-            duty = self.controller.decide(
-                predicted_power, self.storage.state_of_charge
-            )
-            duty_requested[t] = duty
-
-            # The slot plays out with the *true* mean power.
-            incoming = self.harvester.energy(float(means[t]), slot_seconds)
-            stored = self.storage.charge(incoming)
-            wasted[t] = incoming * self.storage.charge_efficiency - stored
-            harvested[t] = incoming
-
-            request = self.load.energy(duty, slot_seconds)
-            supplied = self.storage.discharge(request)
-            consumed[t] = supplied
-            shortfall[t] = request - supplied
-            duty_achieved[t] = duty * (supplied / request) if request > 0 else 0.0
-
-            self.storage.leak(slot_seconds)
-            soc[t] = self.storage.state_of_charge
-            self.controller.feedback(incoming / slot_seconds)
-
-        return NodeRunResult(
-            n_slots=self.view.n_slots,
-            duty_requested=duty_requested,
-            duty_achieved=duty_achieved,
-            state_of_charge=soc,
-            harvested_joules=harvested,
-            consumed_joules=consumed,
-            wasted_joules=wasted,
-            shortfall_joules=shortfall,
+        components = (
+            self.trace,
+            self.predictor,
+            self.controller,
+            self.harvester,
+            self.storage,
+            self.load,
         )
+        # The engine precomputes the slot decomposition and harvest
+        # energies at construction; reuse it across run() calls unless
+        # a component attribute was swapped out.
+        if self._fleet is None or any(
+            current is not cached
+            for current, cached in zip(components, self._fleet_components)
+        ):
+            spec = FleetNodeSpec(
+                trace=self.trace,
+                controller=self.controller,
+                predictor=self.predictor,
+                harvester=self.harvester,
+                storage=self.storage,
+                load=self.load,
+            )
+            self._fleet = FleetSimulator([spec], self.view.n_slots)
+            self._fleet_components = components
+        return self._fleet.run().node_result(0)

@@ -11,12 +11,24 @@ Both expose the same small interface the node simulation drives:
 * ``leak(seconds)`` -- self-discharge over time;
 * ``state_of_charge`` in [0, 1].
 
+Every parameter and every method argument may be a scalar *or* a
+``(B,)`` array: with array parameters one instance models ``B``
+independent stores stepped in lock-step, which is how the fleet
+simulator (:mod:`repro.management.fleet`) vectorizes a whole fleet's
+storage.  :meth:`Battery.stack` builds such an instance from ``B``
+scalar-configured ones.  All arithmetic is elementwise, so the array
+path is bit-identical to ``B`` scalar stores.
+
 Invariant: the stored energy never leaves ``[0, capacity]``; property
 tests in ``tests/management/test_storage.py`` enforce it under random
 operation sequences.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 __all__ = ["Battery", "Supercapacitor"]
 
@@ -34,27 +46,31 @@ class Battery:
         Constant self-discharge power while energy remains.
     initial_soc:
         Initial state of charge in [0, 1].
+
+    Any parameter may be a ``(B,)`` array to model ``B`` stores at once.
     """
 
     def __init__(
         self,
-        capacity_joules: float = 9000.0,
-        charge_efficiency: float = 0.90,
-        discharge_efficiency: float = 0.95,
-        leakage_watts: float = 10e-6,
-        initial_soc: float = 0.5,
+        capacity_joules=9000.0,
+        charge_efficiency=0.90,
+        discharge_efficiency=0.95,
+        leakage_watts=10e-6,
+        initial_soc=0.5,
     ):
-        if capacity_joules <= 0:
+        if np.any(np.asarray(capacity_joules) <= 0):
             raise ValueError("capacity_joules must be positive")
         for name, value in (
             ("charge_efficiency", charge_efficiency),
             ("discharge_efficiency", discharge_efficiency),
         ):
-            if not 0.0 < value <= 1.0:
+            value = np.asarray(value)
+            if np.any(value <= 0.0) or np.any(value > 1.0):
                 raise ValueError(f"{name} must be in (0, 1], got {value}")
-        if leakage_watts < 0:
+        if np.any(np.asarray(leakage_watts) < 0):
             raise ValueError("leakage_watts must be non-negative")
-        if not 0.0 <= initial_soc <= 1.0:
+        initial = np.asarray(initial_soc)
+        if np.any(initial < 0.0) or np.any(initial > 1.0):
             raise ValueError("initial_soc must be in [0, 1]")
         self.capacity_joules = capacity_joules
         self.charge_efficiency = charge_efficiency
@@ -63,53 +79,86 @@ class Battery:
         self._stored = initial_soc * capacity_joules
 
     # ------------------------------------------------------------------
+    @classmethod
+    def stack(cls, stores: Sequence["Battery"]) -> "Battery":
+        """One array-parameterised store modelling ``len(stores)`` nodes.
+
+        Each source store contributes its parameters and *current*
+        state of charge; the sources themselves are left untouched.
+        All entries must be plain (scalar-parameterised) instances of
+        exactly this class.
+        """
+        if not stores:
+            raise ValueError("stack requires at least one store")
+        for store in stores:
+            if type(store) is not cls:
+                raise TypeError(
+                    f"cannot stack {type(store).__name__} as {cls.__name__}"
+                )
+        stacked = cls(
+            capacity_joules=np.array([s.capacity_joules for s in stores], dtype=float),
+            charge_efficiency=np.array(
+                [s.charge_efficiency for s in stores], dtype=float
+            ),
+            discharge_efficiency=np.array(
+                [s.discharge_efficiency for s in stores], dtype=float
+            ),
+            leakage_watts=np.array([s.leakage_watts for s in stores], dtype=float),
+        )
+        # Copy the stored energy directly -- an soc -> joules round trip
+        # would cost one ulp and break bit-parity with the sources.
+        stacked._stored = np.array([s._stored for s in stores], dtype=float)
+        return stacked
+
+    # ------------------------------------------------------------------
     @property
-    def stored_joules(self) -> float:
-        """Energy currently stored."""
+    def stored_joules(self):
+        """Energy currently stored (scalar or ``(B,)``)."""
         return self._stored
 
     @property
-    def state_of_charge(self) -> float:
-        """Stored energy as a fraction of capacity."""
+    def state_of_charge(self):
+        """Stored energy as a fraction of capacity (scalar or ``(B,)``)."""
         return self._stored / self.capacity_joules
 
     @property
-    def is_depleted(self) -> bool:
-        """True when no energy remains."""
+    def is_depleted(self):
+        """True when no energy remains (elementwise for arrays)."""
         return self._stored <= 0.0
 
-    def charge(self, joules: float) -> float:
+    def charge(self, joules):
         """Store harvested energy; returns the amount actually stored."""
-        if joules < 0:
+        if np.any(np.asarray(joules) < 0):
             raise ValueError("charge amount must be non-negative")
         incoming = joules * self.charge_efficiency
         room = self.capacity_joules - self._stored
-        stored = min(incoming, room)
-        self._stored += stored
+        stored = np.minimum(incoming, room)
+        self._stored = self._stored + stored
         return stored
 
-    def discharge(self, joules: float) -> float:
+    def discharge(self, joules):
         """Draw energy for the load; returns the amount supplied.
 
         The store loses ``supplied / discharge_efficiency``; if less
         energy remains than requested, everything left is supplied.
         """
-        if joules < 0:
+        if np.any(np.asarray(joules) < 0):
             raise ValueError("discharge amount must be non-negative")
         drawn_from_store = joules / self.discharge_efficiency
-        if drawn_from_store <= self._stored:
-            self._stored -= drawn_from_store
-            return joules
-        supplied = self._stored * self.discharge_efficiency
-        self._stored = 0.0
+        covered = drawn_from_store <= self._stored
+        supplied = np.where(covered, joules, self._stored * self.discharge_efficiency)
+        self._stored = np.where(covered, self._stored - drawn_from_store, 0.0)
+        if supplied.ndim == 0:
+            self._stored = float(self._stored)
+            return float(supplied)
         return supplied
 
-    def leak(self, seconds: float) -> float:
+    def leak(self, seconds: float):
         """Apply self-discharge over ``seconds``; returns energy lost."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        loss = min(self._stored, self.leakage_watts * seconds)
-        self._stored -= loss
+        loss = np.minimum(self._stored, self.leakage_watts * seconds)
+        self._stored = self._stored - loss
         return loss
 
 
@@ -122,11 +171,11 @@ class Supercapacitor(Battery):
 
     def __init__(
         self,
-        capacity_joules: float = 400.0,
-        charge_efficiency: float = 0.98,
-        discharge_efficiency: float = 0.98,
-        leakage_watts_full: float = 200e-6,
-        initial_soc: float = 0.5,
+        capacity_joules=400.0,
+        charge_efficiency=0.98,
+        discharge_efficiency=0.98,
+        leakage_watts_full=200e-6,
+        initial_soc=0.5,
     ):
         super().__init__(
             capacity_joules=capacity_joules,
@@ -135,15 +184,39 @@ class Supercapacitor(Battery):
             leakage_watts=0.0,
             initial_soc=initial_soc,
         )
-        if leakage_watts_full < 0:
+        if np.any(np.asarray(leakage_watts_full) < 0):
             raise ValueError("leakage_watts_full must be non-negative")
         self.leakage_watts_full = leakage_watts_full
 
-    def leak(self, seconds: float) -> float:
+    @classmethod
+    def stack(cls, stores: Sequence["Supercapacitor"]) -> "Supercapacitor":
+        if not stores:
+            raise ValueError("stack requires at least one store")
+        for store in stores:
+            if type(store) is not cls:
+                raise TypeError(
+                    f"cannot stack {type(store).__name__} as {cls.__name__}"
+                )
+        stacked = cls(
+            capacity_joules=np.array([s.capacity_joules for s in stores], dtype=float),
+            charge_efficiency=np.array(
+                [s.charge_efficiency for s in stores], dtype=float
+            ),
+            discharge_efficiency=np.array(
+                [s.discharge_efficiency for s in stores], dtype=float
+            ),
+            leakage_watts_full=np.array(
+                [s.leakage_watts_full for s in stores], dtype=float
+            ),
+        )
+        stacked._stored = np.array([s._stored for s in stores], dtype=float)
+        return stacked
+
+    def leak(self, seconds: float):
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        loss = min(
+        loss = np.minimum(
             self._stored, self.leakage_watts_full * self.state_of_charge * seconds
         )
-        self._stored -= loss
+        self._stored = self._stored - loss
         return loss

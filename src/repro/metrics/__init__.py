@@ -19,7 +19,14 @@ from repro.metrics.errors import (
 )
 from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
 from repro.metrics.evaluate import PredictionRun, evaluate_predictor
-from repro.metrics.summary import RunSummary, format_summary, summarise
+from repro.metrics.summary import (
+    FleetSummary,
+    RunSummary,
+    format_fleet_summary,
+    format_summary,
+    summarise,
+    summarise_fleet,
+)
 
 __all__ = [
     "slot_errors",
@@ -36,4 +43,7 @@ __all__ = [
     "RunSummary",
     "summarise",
     "format_summary",
+    "FleetSummary",
+    "summarise_fleet",
+    "format_fleet_summary",
 ]

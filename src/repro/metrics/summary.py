@@ -6,6 +6,12 @@ number: monthly error (does winter behave?), per-quantile error (are a
 few slots carrying the average?), error conditioned on the reference
 level (dawn vs midday), and the bias split (over- vs under-prediction,
 which matter differently to an energy-neutral controller).
+
+:func:`summarise_fleet` does the analogous job for a fleet run
+(:class:`~repro.management.fleet.FleetRunResult`): the interesting
+question at fleet scale is not one node's average but the *spread* --
+which fraction of the deployment browns out, how unequal the achieved
+duty is across sites, and which node is worst.
 """
 
 from __future__ import annotations
@@ -17,7 +23,14 @@ import numpy as np
 
 from repro.metrics.evaluate import PredictionRun
 
-__all__ = ["RunSummary", "summarise", "format_summary"]
+__all__ = [
+    "RunSummary",
+    "summarise",
+    "format_summary",
+    "FleetSummary",
+    "summarise_fleet",
+    "format_fleet_summary",
+]
 
 #: Days per month used for the monthly breakdown (non-leap year).
 MONTH_LENGTHS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
@@ -115,4 +128,90 @@ def format_summary(summary: RunSummary) -> str:
         for month, value in summary.monthly_mape.items():
             marker = " (worst)" if month == worst else (" (best)" if month == best else "")
             lines.append(f"  month {month:>2}: {value:.2%}{marker}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Cross-node diagnostics of one fleet run.
+
+    Duty and downtime values are fractions; quantiles are taken across
+    nodes (p50/p90/p99 of the per-node metric).
+    """
+
+    n_nodes: int
+    total_slots: int
+    mean_duty: float
+    duty_quantiles: Dict[float, float]
+    downtime_fraction: float
+    downtime_quantiles: Dict[float, float]
+    nodes_with_downtime: int
+    worst_node: str
+    worst_node_downtime: float
+    waste_fraction: float
+    mean_final_soc: float
+
+
+#: Cross-node quantiles reported by :func:`summarise_fleet`.
+FLEET_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def summarise_fleet(result) -> FleetSummary:
+    """Cross-node digest of a :class:`~repro.management.fleet.FleetRunResult`.
+
+    Accepts any object with the fleet-result metric surface (per-node
+    ``mean_duty`` / ``downtime_fraction`` arrays, ``node_names``,
+    ``summary()``), so it stays decoupled from the management layer.
+    """
+    aggregate = result.summary()
+    per_node_duty = np.asarray(result.mean_duty, dtype=float)
+    per_node_downtime = np.asarray(result.downtime_fraction, dtype=float)
+    worst = int(per_node_downtime.argmax())
+    return FleetSummary(
+        n_nodes=aggregate["n_nodes"],
+        total_slots=aggregate["total_slots"],
+        mean_duty=aggregate["mean_duty"],
+        duty_quantiles={
+            q: float(np.quantile(per_node_duty, q)) for q in FLEET_QUANTILES
+        },
+        downtime_fraction=aggregate["downtime_fraction"],
+        downtime_quantiles={
+            q: float(np.quantile(per_node_downtime, q)) for q in FLEET_QUANTILES
+        },
+        nodes_with_downtime=int((per_node_downtime > 0).sum()),
+        worst_node=str(result.node_names[worst]),
+        worst_node_downtime=float(per_node_downtime[worst]),
+        waste_fraction=aggregate["waste_fraction"],
+        mean_final_soc=aggregate["mean_final_soc"],
+    )
+
+
+def format_fleet_summary(summary: FleetSummary) -> str:
+    """Human-readable multi-line rendering of a :class:`FleetSummary`."""
+    lines: List[str] = []
+    lines.append(
+        f"fleet: {summary.n_nodes} nodes x {summary.total_slots} slots"
+    )
+    lines.append(
+        f"achieved duty: mean {summary.mean_duty:.1%}  across nodes "
+        + "  ".join(
+            f"p{int(q * 100)}={v:.1%}" for q, v in summary.duty_quantiles.items()
+        )
+    )
+    lines.append(
+        f"downtime: {summary.downtime_fraction:.2%} of node-slots; "
+        f"{summary.nodes_with_downtime}/{summary.n_nodes} nodes affected; "
+        + "  ".join(
+            f"p{int(q * 100)}={v:.2%}"
+            for q, v in summary.downtime_quantiles.items()
+        )
+    )
+    lines.append(
+        f"worst node: {summary.worst_node} "
+        f"({summary.worst_node_downtime:.2%} downtime)"
+    )
+    lines.append(
+        f"harvest wasted full-store: {summary.waste_fraction:.1%}; "
+        f"mean final SoC {summary.mean_final_soc:.1%}"
+    )
     return "\n".join(lines)

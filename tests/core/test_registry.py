@@ -2,9 +2,18 @@
 
 import pytest
 
-from repro.core.baselines import PersistencePredictor
-from repro.core.registry import available_predictors, make_predictor, register
-from repro.core.wcma import WCMAPredictor
+from repro.core.base import VectorPredictor
+from repro.core.baselines import PersistencePredictor, PersistenceVector
+from repro.core.registry import (
+    available_predictors,
+    make_predictor,
+    make_vector_predictor,
+    register,
+    supports_vector,
+    unregister,
+    vector_predictors,
+)
+from repro.core.wcma import WCMAPredictor, WCMAVector
 
 
 class TestRegistry:
@@ -34,6 +43,79 @@ class TestRegistry:
             with pytest.raises(ValueError, match="already registered"):
                 register("test-custom", lambda n_slots: PersistencePredictor(n_slots))
         finally:
-            from repro.core import registry
+            unregister("test-custom")
 
-            registry._FACTORIES.pop("test-custom", None)
+    def test_register_overwrite_replaces(self):
+        register("test-overwrite", lambda n_slots: PersistencePredictor(n_slots))
+        try:
+            register(
+                "test-overwrite",
+                lambda n_slots: PersistencePredictor(n_slots + 1),
+                overwrite=True,
+            )
+            assert make_predictor("test-overwrite", 8).n_slots == 9
+        finally:
+            unregister("test-overwrite")
+
+    def test_overwrite_without_vector_factory_drops_vector_support(self):
+        register(
+            "test-vec",
+            lambda n_slots: PersistencePredictor(n_slots),
+            vector_factory=lambda n_slots, batch_size: PersistenceVector(
+                n_slots, batch_size
+            ),
+        )
+        try:
+            assert supports_vector("test-vec")
+            register(
+                "test-vec",
+                lambda n_slots: PersistencePredictor(n_slots),
+                overwrite=True,
+            )
+            assert not supports_vector("test-vec")
+        finally:
+            unregister("test-vec")
+
+    def test_unregister_removes(self):
+        register("test-gone", lambda n_slots: PersistencePredictor(n_slots))
+        unregister("test-gone")
+        assert "test-gone" not in available_predictors()
+        with pytest.raises(KeyError):
+            make_predictor("test-gone", 8)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError, match="not registered"):
+            unregister("never-registered")
+
+
+class TestVectorRegistry:
+    def test_defaults_have_vector_kernels(self):
+        names = vector_predictors()
+        for expected in (
+            "wcma",
+            "ewma",
+            "persistence",
+            "previous-day",
+            "moving-average",
+        ):
+            assert expected in names
+
+    def test_scalar_only_predictors_report_no_vector(self):
+        assert not supports_vector("pro-energy")
+        assert not supports_vector("ar")
+        assert not supports_vector("linear-trend")
+
+    def test_make_vector_predictor(self):
+        kernel = make_vector_predictor("wcma", 48, 16, alpha=0.5, days=7, k=3)
+        assert isinstance(kernel, WCMAVector)
+        assert isinstance(kernel, VectorPredictor)
+        assert kernel.batch_size == 16
+        assert kernel.params.alpha == 0.5
+
+    def test_make_vector_predictor_without_kernel_raises(self):
+        with pytest.raises(KeyError, match="no vector kernel"):
+            make_vector_predictor("pro-energy", 48, 4)
+
+    def test_make_vector_predictor_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown predictor"):
+            make_vector_predictor("nope", 48, 4)

@@ -43,6 +43,33 @@ class TestCommon:
         b = batch_for("pfci", DAYS, 24)
         assert a is b
 
+    def test_batch_cache_is_bounded_lru(self):
+        from repro.experiments.common import (
+            BATCH_CACHE_MAX_ENTRIES,
+            _BATCH_CACHE,
+            clear_batch_cache,
+        )
+
+        clear_batch_cache()
+        try:
+            # Fill beyond the bound with distinct (site, days, N) keys.
+            n_values = (288, 144, 96, 72, 48, 36, 24, 18, 16, 12)
+            assert len(n_values) > BATCH_CACHE_MAX_ENTRIES
+            for n in n_values:
+                batch_for("PFCI", 3, n)
+            assert len(_BATCH_CACHE) == BATCH_CACHE_MAX_ENTRIES
+            # Oldest keys were evicted, newest survive.
+            assert ("PFCI", 3, n_values[0]) not in _BATCH_CACHE
+            assert ("PFCI", 3, n_values[-1]) in _BATCH_CACHE
+            # A hit refreshes recency: touch the oldest survivor, add one
+            # more key, and the survivor must still be cached.
+            survivor = next(iter(_BATCH_CACHE))
+            batch_for(survivor[0], survivor[1], survivor[2])
+            batch_for("PFCI", 3, 8)
+            assert survivor in _BATCH_CACHE
+        finally:
+            clear_batch_cache()
+
     def test_format_table(self):
         text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
         lines = text.splitlines()

@@ -92,3 +92,28 @@ class TestAnalysisCommands:
     def test_trace_and_site_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "--site", "PFCI", "--trace", "x.csv"])
+
+
+class TestFleetCommand:
+    def test_fleet_summary_table(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--nodes", "6",
+                "--sites", "SPMD", "HSU",
+                "--days", "8",
+                "--predictors", "wcma", "persistence",
+                "--controllers", "kansal",
+                "--capacities", "250",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FLEET: fleet simulation: 6 nodes" in out
+        assert "wcma" in out and "persistence" in out
+        assert "downtime" in out
+        assert "node-slots/sec" in out
+
+    def test_fleet_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--controllers", "nope"])

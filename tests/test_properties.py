@@ -88,13 +88,18 @@ class TestPredictorProperties:
         params = WCMAParams(alpha, 2, 2)
         flt = WCMAPredictor(48, params)
         q15 = FixedPointWCMA(48, params, full_scale_watts=1500.0)
+        q13_ceiling = ((1 << 16) - 1) / (1 << 13)  # ratio saturation, ~8.0
         for value in samples:
             a = flt.observe(float(value))
             b = q15.observe(float(value))
             # Within 2% of full scale at every single step; on
             # adversarial inputs the float path may exceed full scale
-            # and the float eta ratio may exceed the Q13 ceiling --
-            # both saturate in the Q15 port by design.
+            # (clamped below) and the float eta ratio may exceed the
+            # Q13 ceiling -- there the Q15 port saturates by design and
+            # the two paths legitimately diverge, so those steps are
+            # exempt.
+            if any(eta > q13_ceiling for eta in flt._recent_eta):
+                continue
             assert abs(min(a, 1500.0) - b) <= 30.0 + 1e-9
 
     @settings(max_examples=15, deadline=None)
