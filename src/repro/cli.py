@@ -163,6 +163,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         metavar="SITE",
         help="restrict to these sites (default: the paper's six)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the experiment runner; each worker "
+            "handles independent (experiment, site) units with its own "
+            "trace/batch caches (default: sequential)"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -262,7 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     only = None if args.command == "run-all" else args.experiments
-    results = run_all(n_days=args.days, sites=args.sites, only=only)
+    results = run_all(n_days=args.days, sites=args.sites, only=only, jobs=args.jobs)
     print(render_report(results))
     return 0
 

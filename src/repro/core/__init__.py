@@ -28,7 +28,7 @@ from repro.core.baselines import (
 )
 from repro.core.proenergy import ProEnergyPredictor
 from repro.core.regression import ARPredictor, SlotLinearTrendPredictor
-from repro.core.optimizer import GridSearchResult, grid_search
+from repro.core.optimizer import GridSearchResult, SweepSpec, grid_search, sweep_many
 from repro.core.dynamic import DynamicResult, clairvoyant_dynamic
 from repro.core.adaptive import AdaptiveSelector, FollowTheLeaderSelector, EpsilonGreedySelector
 from repro.core.registry import (
@@ -58,7 +58,9 @@ __all__ = [
     "ARPredictor",
     "SlotLinearTrendPredictor",
     "GridSearchResult",
+    "SweepSpec",
     "grid_search",
+    "sweep_many",
     "DynamicResult",
     "clairvoyant_dynamic",
     "AdaptiveSelector",

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -360,14 +360,34 @@ def mu_matrix(starts: np.ndarray, days: int) -> np.ndarray:
 class WCMABatch:
     """Vectorized WCMA evaluation over an entire trace.
 
-    Precomputes, per history depth ``D``, the flat ``μ_D`` and ``η``
-    series, and per ``(D, K)`` the *conditioned average term*
-    ``q[t] = μ_D(t+1) * Φ_K(t)``.  A prediction for any ``alpha`` is then
-    the one-liner ``alpha * s[:-1] + (1 - alpha) * q`` — this is what
-    makes the exhaustive grid searches of Tables II/III/V cheap.
+    The sweep-engine v2 kernel set.  Three levels of sharing keep the
+    exhaustive grid searches of Tables II/III/V cheap:
+
+    * **Per trace** -- one prefix sum over the day axis
+      (:meth:`_day_csum`) from which ``μ_D`` for *every* history depth
+      ``D`` is a single slice-subtract-divide (no per-``D``
+      recomputation).
+    * **Per D** -- the flat ``μ_D`` and ``η`` series are memoised; ``η``
+      reuses the cached ``μ`` matrix instead of rebuilding it.
+    * **Per (D, K)** -- ``Φ_K`` comes from a sliding-window recurrence:
+      with ``θ(k) = k/K`` the numerator is ``(1/K)·Σ k·η`` over the
+      window, so two running sums (plain and lag-weighted) advance from
+      ``K-1`` to ``K`` with one shifted add each, making every ``K``
+      incremental instead of ``O(K)`` passes.  The *conditioned average
+      term* ``q[t] = μ_D(t+1) * Φ_K(t)`` is memoised per ``(D, K)``.
+
+    A prediction for any ``alpha`` is then the one-liner
+    ``alpha * s[:-1] + (1 - alpha) * q``.  For whole-grid sweeps,
+    :meth:`conditioned_stack` additionally evaluates the stacked
+    ``(D, K)`` conditioned terms at a set of scored boundary indices in
+    one batched pass (the input of the fused error-cube kernel in
+    :mod:`repro.core.optimizer`).
 
     All flat arrays are aligned on the boundary index
     ``t = day * N + slot``; entries where history is incomplete are NaN.
+    The pre-v2 kernels are preserved in
+    :mod:`repro.core.sweep_reference` and pinned against these by the
+    parity suite.
     """
 
     def __init__(self, view: SlotView, eta_floor_fraction: float = ETA_FLOOR_FRACTION):
@@ -380,9 +400,18 @@ class WCMABatch:
         self.eta_floor_fraction = eta_floor_fraction
         self.starts_flat = view.flat_starts()
         self.means_flat = view.flat_means()
+        self._csum: np.ndarray = None  # (n_days + 1, N) day-axis prefix sum
+        self._mu2d_cache: Dict[int, np.ndarray] = {}
         self._mu_cache: Dict[int, np.ndarray] = {}
         self._eta_cache: Dict[int, np.ndarray] = {}
+        self._phi_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._window_cache: Dict[int, list] = {}  # D -> [K_done, B, W]
         self._q_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        # conditioned_stack workspace, keyed by its shape: repeated
+        # sweep chunks reuse the lag/window buffers instead of paying a
+        # fresh multi-MB allocation (page faults) per chunk.
+        self._stack_scratch_key: Tuple[int, int, int] = None
+        self._stack_scratch: Tuple[np.ndarray, np.ndarray, np.ndarray] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -396,10 +425,40 @@ class WCMABatch:
         return self.starts_flat.size
 
     # ------------------------------------------------------------------
+    def _day_csum(self) -> np.ndarray:
+        """Shared day-axis prefix sum: ``csum[d] = Σ starts[:d]``.
+
+        Computed once; ``μ_D`` for any ``D`` is then
+        ``(csum[D:-1] - csum[:-D-1]) / D`` -- bit-identical to what
+        :func:`mu_matrix` produces, without re-running the cumulative
+        sum per depth.
+        """
+        if self._csum is None:
+            starts = self.view.starts
+            self._csum = np.vstack(
+                [np.zeros((1, starts.shape[1])), np.cumsum(starts, axis=0)]
+            )
+        return self._csum
+
+    def mu2d(self, days: int) -> np.ndarray:
+        """``μ_D`` as a ``(n_days, N)`` matrix (NaN rows during warm-up)."""
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        if days not in self._mu2d_cache:
+            starts = self.view.starts
+            csum = self._day_csum()
+            out = np.empty_like(starts)
+            out[: min(days, starts.shape[0])] = np.nan
+            if starts.shape[0] > days:
+                np.subtract(csum[days:-1], csum[: -days - 1], out=out[days:])
+                out[days:] /= days
+            self._mu2d_cache[days] = out
+        return self._mu2d_cache[days]
+
     def mu_flat(self, days: int) -> np.ndarray:
         """Flat ``μ_D`` series (NaN during the first ``days`` days)."""
         if days not in self._mu_cache:
-            self._mu_cache[days] = mu_matrix(self.view.starts, days).reshape(-1)
+            self._mu_cache[days] = self.mu2d(days).reshape(-1)
         return self._mu_cache[days]
 
     def eta_flat(self, days: int) -> np.ndarray:
@@ -410,39 +469,65 @@ class WCMABatch:
         the node knows its own history matrix).
         """
         if days not in self._eta_cache:
-            mu2d = mu_matrix(self.view.starts, days)
-            finite2d = np.isfinite(mu2d)
-            filled = np.where(finite2d, mu2d, -np.inf)
-            day_peak = filled.max(axis=1, keepdims=True)  # -inf on warm-up rows
+            mu2d = self.mu2d(days)
+            # mu rows are all-finite (complete history) or all-NaN
+            # (warm-up): a plain max propagates NaN into the floor,
+            # whose comparison below is then False for the whole row --
+            # the same exclusion the old where(-inf) dance produced.
+            day_peak = mu2d.max(axis=1, keepdims=True)
             floor2d = np.maximum(self.eta_floor_fraction * day_peak, MU_EPS)
             mu = mu2d.reshape(-1)
             floor = np.broadcast_to(floor2d, mu2d.shape).reshape(-1)
             s = self.starts_flat
-            eta = np.full_like(s, np.nan)
-            finite = np.isfinite(mu)
-            bright = finite & (mu >= floor)
-            eta[bright] = s[bright] / mu[bright]
-            eta[finite & ~bright] = 1.0
+            bright = mu >= floor  # False on NaN mu/floor: warm-up stays dark
+            # NaN on warm-up rows, neutral 1.0 under the dawn guard, and
+            # the true ratio where mu is bright -- the where-divide
+            # computes the same element divisions as masked indexing
+            # would, without the gather/scatter round trip.
+            eta = np.where(np.isfinite(mu), 1.0, np.nan)
+            np.divide(s, mu, out=eta, where=bright)
             self._eta_cache[days] = eta
         return self._eta_cache[days]
 
     def phi_flat(self, days: int, k_param: int) -> np.ndarray:
-        """Flat ``Φ_K`` series (Eq. 3); NaN where the lookback is short."""
+        """Flat ``Φ_K`` series (Eq. 3); NaN where the lookback is short.
+
+        Sliding-window form: with ``θ(k) = k/K`` the weighted numerator
+        over the window is ``(1/K)·Σ_k k·η``, so two running sums --
+        ``B[t] = Σ_{j<K} η(t-j)`` (plain) and ``W[t] = Σ_{j<K} j·η(t-j)``
+        (lag-weighted) -- give every ``K`` incrementally:
+
+        ``Φ_K(t) = (K·B[t] - W[t]) · 2 / (K·(K+1))``
+
+        Advancing ``K -> K+1`` costs one shifted add per running sum
+        instead of the ``O(K)`` shifted adds of the reference kernel.
+        The sums are cached per ``D`` and every intermediate ``K``
+        passed on the way up is cached too, so requesting a smaller
+        ``K`` later is a pure cache hit.
+        """
         if k_param < 1:
             raise ValueError("K must be >= 1")
-        eta = self.eta_flat(days)
-        total = eta.size
-        theta = WCMAParams.theta(k_param)
-        acc = np.zeros(total, dtype=float)
-        for k in range(1, k_param + 1):
-            shift = k_param - k  # eta index t - shift contributes theta[k-1]
-            if shift == 0:
-                acc += theta[k - 1] * eta
-            else:
-                acc[shift:] += theta[k - 1] * eta[:-shift]
-        phi = acc / theta.sum()
-        phi[: k_param - 1] = np.nan  # incomplete lookback at trace start
-        return phi
+        key = (days, k_param)
+        if key not in self._phi_cache:
+            state = self._window_cache.get(days)
+            if state is None:
+                zeros = np.zeros(self.n_boundaries, dtype=float)
+                state = [0, zeros, zeros.copy()]
+                self._window_cache[days] = state
+            k_done, window, weighted = state
+            eta = self.eta_flat(days)
+            for k in range(k_done + 1, k_param + 1):
+                lag = k - 1
+                if lag == 0:
+                    window += eta
+                else:
+                    window[lag:] += eta[:-lag]
+                    weighted[lag:] += lag * eta[:-lag]
+                phi = (k * window - weighted) * (2.0 / (k * (k + 1)))
+                phi[: k - 1] = np.nan  # incomplete lookback at trace start
+                self._phi_cache[(days, k)] = phi
+            state[0] = max(k_done, k_param)
+        return self._phi_cache[key]
 
     def conditioned_term(self, days: int, k_param: int) -> np.ndarray:
         """``q[t] = μ_D(t+1) · Φ_K(t)``, length ``n_boundaries - 1``."""
@@ -452,6 +537,101 @@ class WCMABatch:
             phi = self.phi_flat(days, k_param)
             self._q_cache[key] = mu[1:] * phi[:-1]
         return self._q_cache[key]
+
+    def conditioned_stack(
+        self,
+        days_seq: Sequence[int],
+        ks_seq: Sequence[int],
+        idx: np.ndarray,
+        out: np.ndarray = None,
+    ) -> np.ndarray:
+        """Conditioned terms for a block of ``(D, K)`` pairs at ``idx``.
+
+        The sweep-side kernel: evaluates
+        ``q[D, K, t] = μ_D(t+1) · Φ_K(t)`` for every ``D`` in
+        ``days_seq`` x every ``K`` in ``ks_seq``, but *only* at the
+        scored boundary indices ``idx`` (sorted ascending, e.g.
+        :func:`repro.metrics.roi.roi_indices`), returning shape
+        ``(len(days_seq), len(ks_seq), len(idx))``.
+
+        Compared to gathering from :meth:`conditioned_term`, this skips
+        materialising the full-length ``Φ``/``q`` series: the ``η``
+        values each window needs (lags ``0..max(K)-1`` of every scored
+        boundary, which may straddle unscored slots) are gathered once,
+        after which the sliding-window sums, the ``Φ`` scaling, the
+        ``μ`` product and every downstream error op touch only the
+        scored subset -- typically ~25 % of the trace under the
+        region-of-interest rule.  Memory is ``O(len(days_seq) · max(K) ·
+        len(idx))`` for the lag tensor -- callers bound it by chunking
+        ``days_seq`` (see ``grid_search``'s ``d_chunk``).
+
+        ``μ`` and ``η`` per ``D`` go through the same memos as the
+        scalar API, so repeated sweeps on one batch stay shared.  The
+        internal lag/window buffers persist on the batch and are reused
+        by same-shaped chunks; pass ``out`` (same shape as the result)
+        to recycle the output allocation as well.
+        """
+        idx = np.asarray(idx)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_boundaries - 1):
+            raise ValueError(
+                "idx must hold boundary indices in [0, n_boundaries - 1)"
+            )
+        days_seq = tuple(days_seq)
+        ks_seq = tuple(ks_seq)
+        if min(ks_seq) < 1:
+            raise ValueError("K must be >= 1")
+        n_block = len(days_seq)
+        max_k = max(ks_seq)
+        n_sel = idx.size
+        scratch_key = (n_block, max_k, n_sel)
+        if self._stack_scratch_key == scratch_key:
+            lags, numer, mu_next = self._stack_scratch
+        else:
+            lags = np.empty((n_block, max_k, n_sel), dtype=float)
+            numer = np.empty((n_block, n_sel), dtype=float)
+            mu_next = np.empty((n_block, n_sel), dtype=float)
+            self._stack_scratch_key = scratch_key
+            self._stack_scratch = (lags, numer, mu_next)
+        nxt = idx + 1
+        for ci, d in enumerate(days_seq):
+            mu_next[ci] = self.mu_flat(d)[nxt]
+        # Gathered eta neighbourhoods: lags[:, j] = eta(t - j) at every
+        # scored t.  (Lag indices clamped at 0 are start-of-trace
+        # positions whose phi is NaN-masked below.)
+        src = np.maximum(idx[None, :] - np.arange(max_k)[:, None], 0)
+        for ci, d in enumerate(days_seq):
+            lags[ci] = self.eta_flat(d)[src]
+        # Double recurrence for the theta-weighted numerator
+        # A_K = sum_{j<K} (K-j) eta(t-j):  B_K = B_{K-1} + eta(t-K+1)
+        # (plain window sum) and A_K = A_{K-1} + B_K -- one add each per
+        # unit of K.  phi_K is then A_K * 2/(K*(K+1)).
+        positions = {}
+        for j, k in enumerate(ks_seq):
+            positions.setdefault(k, []).append(j)
+        out_arr = (
+            out
+            if out is not None
+            else np.empty((n_block, len(ks_seq), n_sel), dtype=float)
+        )
+        window = lags[:, 0]  # B_1; accumulated in place across K
+        np.copyto(numer, window)  # A_1 == B_1
+        for k in range(1, max_k + 1):
+            if k > 1:
+                window += lags[:, k - 1]
+                numer += window
+            slots = positions.get(k)
+            if not slots:
+                continue
+            q_k = out_arr[:, slots[0]]
+            np.multiply(numer, mu_next, out=q_k)
+            if k > 1:
+                q_k *= 2.0 / (k * (k + 1))
+                if n_sel and idx[0] < k - 1:
+                    # incomplete lookback at trace start (idx sorted)
+                    q_k[:, : np.searchsorted(idx, k - 1)] = np.nan
+            for j in slots[1:]:
+                out_arr[:, j] = q_k
+        return out_arr
 
     def predictions(self, params: WCMAParams) -> np.ndarray:
         """Predictions ``p[t]`` for ``t = 0 .. n_boundaries-2``.

@@ -1,27 +1,51 @@
 """Shared infrastructure for the experiment modules.
 
 * :class:`ExperimentResult` -- rows + metadata + text rendering.
-* :func:`batch_for` -- memoised :class:`~repro.core.wcma.WCMABatch`
-  per (site, days, N): the grid searches of Tables II/III/V and Fig. 7
-  all reuse the same conditioned-term caches.
+* :func:`trace_for` / :func:`batch_for` -- the two cache levels the
+  table/figure reproductions run on (see below).
 * :func:`format_table` -- minimal fixed-width text table.
+
+Cache architecture
+------------------
+Experiments touch the same data at three granularities, each with its
+own memo so nothing is rebuilt one level down:
+
+1. **Native trace per (site, n_days)** -- :func:`trace_for`.  Building a
+   one-year 1-minute trace costs a noticeable fraction of a second; a
+   sweep over the five paper ``N`` values must slot the *same* trace
+   five ways, not synthesise it five times.
+2. **Batch engine per (site, n_days, N)** -- :func:`batch_for`, a small
+   LRU of :class:`~repro.core.wcma.WCMABatch` instances.  A batch holds
+   the slotted trace plus the per-``D``/per-``(D, K)`` ``μ``/``η``/``Φ``
+   caches every grid search of Tables II/III/V and Fig. 7 shares.
+3. **Inside each batch** -- the sweep-v2 kernel caches documented on
+   :class:`~repro.core.wcma.WCMABatch` (shared day-axis prefix sum,
+   memoised ``μ``/``η`` per ``D``, incremental ``Φ`` window sums).
+
+Both memos are per process.  Under the parallel runner
+(:func:`repro.experiments.runner.run_all` with ``jobs > 1``) every
+worker process grows its own copies for the (experiment, site) units it
+executes; nothing is pickled or shared between workers, so cache state
+never crosses process boundaries.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.wcma import WCMABatch
 from repro.solar.datasets import build_dataset
 from repro.solar.sites import SITE_ORDER
+from repro.solar.trace import SolarTrace
 
 __all__ = [
     "DEFAULT_N_DAYS",
     "PAPER_N_VALUES",
     "BATCH_CACHE_MAX_ENTRIES",
     "ExperimentResult",
+    "trace_for",
     "batch_for",
     "clear_batch_cache",
     "format_table",
@@ -44,19 +68,37 @@ BATCH_CACHE_MAX_ENTRIES = 8
 
 _BATCH_CACHE: "OrderedDict[Tuple[str, int, int], WCMABatch]" = OrderedDict()
 
+_TRACE_CACHE: Dict[Tuple[str, int], SolarTrace] = {}
+
+
+def trace_for(site: str, n_days: int) -> SolarTrace:
+    """Memoised native-resolution trace for one (site, trace length).
+
+    Deliberately keyed *without* ``N``: a batch-cache miss for a new
+    sampling rate re-slots the already-built trace instead of
+    regenerating it.  Unbounded, but a full ``run_all`` only ever holds
+    the paper's six sites at one or two trace lengths.
+    """
+    key = (site.upper(), n_days)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = build_dataset(site, n_days=n_days)
+    return _TRACE_CACHE[key]
+
 
 def batch_for(site: str, n_days: int, n_slots: int) -> WCMABatch:
     """Memoised batch engine for one (site, trace length, N).
 
     The memo is a small LRU (:data:`BATCH_CACHE_MAX_ENTRIES`): a hit
     refreshes the entry, a miss beyond the bound evicts the least
-    recently used batch.
+    recently used batch.  The underlying native trace comes from
+    :func:`trace_for`, so evicted batches rebuild only the slot view
+    and kernel caches, never the trace itself.
     """
     key = (site.upper(), n_days, n_slots)
     if key in _BATCH_CACHE:
         _BATCH_CACHE.move_to_end(key)
         return _BATCH_CACHE[key]
-    trace = build_dataset(site, n_days=n_days)
+    trace = trace_for(site, n_days)
     batch = WCMABatch.from_trace(trace, n_slots)
     _BATCH_CACHE[key] = batch
     while len(_BATCH_CACHE) > BATCH_CACHE_MAX_ENTRIES:
@@ -65,8 +107,9 @@ def batch_for(site: str, n_days: int, n_slots: int) -> WCMABatch:
 
 
 def clear_batch_cache() -> None:
-    """Drop memoised batches (tests)."""
+    """Drop memoised batches and traces (tests)."""
     _BATCH_CACHE.clear()
+    _TRACE_CACHE.clear()
 
 
 def sites_for(sites: Optional[Sequence[str]]) -> Tuple[str, ...]:

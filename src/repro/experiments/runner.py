@@ -4,14 +4,39 @@
 keyed by experiment id; ``render_report`` turns them into the text that
 EXPERIMENTS.md embeds.  The command-line front-end lives in
 :mod:`repro.cli`.
+
+Parallel execution
+------------------
+``run_all(jobs=n)`` with ``n > 1`` dispatches the work onto a process
+pool.  The unit of work is one **(experiment, site)** pair for the
+trace-driven multi-site reproductions (Tables I/II/III/V, Fig. 7) and
+one whole experiment for the cheap or single-site ones (Table IV,
+Figs. 2/6): sites are independent by construction -- every sweep reads
+only its own site's trace -- so per-site results concatenate, in site
+order, to exactly the sequential rows.
+
+Each worker process owns private copies of the experiment-level caches
+(:func:`repro.experiments.common.trace_for` /
+:func:`~repro.experiments.common.batch_for`), so a worker that draws
+several ``N`` values of one site still builds the native trace once and
+re-slots it per ``N``.  The trade-off is that two workers handed the
+same site (e.g. Table II's and Table III's PFCI units) each synthesise
+that trace -- accepted, because units stay coarse enough that the
+sweep work dominates and nothing needs to be shared or pickled between
+workers (only the work-unit descriptors and the
+:class:`~repro.experiments.common.ExperimentResult` rows cross the
+process boundary).
+
+``jobs=None`` (or 1) keeps the exact sequential code path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5
-from repro.experiments.common import DEFAULT_N_DAYS, ExperimentResult
+from repro.experiments.common import DEFAULT_N_DAYS, ExperimentResult, sites_for
 
 __all__ = ["EXPERIMENTS", "run_all", "render_report"]
 
@@ -29,11 +54,76 @@ EXPERIMENTS = (
 
 _TRACE_DRIVEN = {"table1", "table2", "table3", "table5", "fig2", "fig7"}
 
+#: Experiments whose rows are generated independently per site; these
+#: split into (experiment, site) work units under ``jobs > 1``.
+_PER_SITE = ("table1", "table2", "table3", "table5", "fig7")
+
+_MODULES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig2": fig2,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+
+def _run_unit(
+    name: str, n_days: int, sites: Optional[Tuple[str, ...]]
+) -> ExperimentResult:
+    """Execute one work unit (module-level so process pools can pickle it)."""
+    module = _MODULES[name]
+    if name not in _TRACE_DRIVEN:
+        return module.run()
+    if name == "fig2" or (name == "table5" and sites is None):
+        return module.run(n_days=n_days)
+    return module.run(n_days=n_days, sites=sites)
+
+
+def _work_units(
+    selected: Sequence[str], sites: Optional[Sequence[str]]
+) -> List[Tuple[str, Optional[Tuple[str, ...]]]]:
+    """Split the selection into independent (experiment, sites) units."""
+    units: List[Tuple[str, Optional[Tuple[str, ...]]]] = []
+    for name in selected:
+        site_list: Tuple[str, ...] = ()
+        if name in _PER_SITE:
+            if name == "table5" and sites is None:
+                site_list = table5.DYNAMIC_SITES
+            else:
+                site_list = sites_for(sites)
+        if site_list:
+            units.extend((name, (site,)) for site in site_list)
+        else:
+            # single-unit experiments, and the degenerate empty site
+            # selection (which must still yield a zero-row result, as
+            # the sequential path does)
+            units.append((name, tuple(sites) if sites is not None else None))
+    return units
+
+
+def _merge_parts(parts: List[ExperimentResult]) -> ExperimentResult:
+    """Concatenate per-site results of one experiment (site order kept)."""
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    return ExperimentResult(
+        experiment=first.experiment,
+        title=first.title,
+        headers=first.headers,
+        rows=[row for part in parts for row in part.rows],
+        notes=first.notes,
+        meta=first.meta,
+    )
+
 
 def run_all(
     n_days: int = DEFAULT_N_DAYS,
     sites: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the selected experiments (all by default).
 
@@ -46,34 +136,43 @@ def run_all(
         own four-site list).
     only:
         Experiment ids to run (None = all).
+    jobs:
+        Worker processes for the parallel runner; ``None`` or 1 runs
+        sequentially in this process (see module docstring).
     """
     selected = tuple(only) if only is not None else EXPERIMENTS
     unknown = [e for e in selected if e not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {unknown}; available: {EXPERIMENTS}")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    # A duplicated id runs once: the sequential loop's dict insertion
+    # overwrites with an identical result, so drop repeats up front and
+    # keep first-occurrence order for both code paths.
+    selected = tuple(dict.fromkeys(selected))
+    sites_arg = tuple(sites) if sites is not None else None
 
-    modules = {
-        "table1": table1,
-        "table2": table2,
-        "table3": table3,
-        "table4": table4,
-        "table5": table5,
-        "fig2": fig2,
-        "fig6": fig6,
-        "fig7": fig7,
-    }
     results: Dict[str, ExperimentResult] = {}
+
+    if jobs is None or jobs == 1:
+        for name in selected:
+            results[name] = _run_unit(name, n_days, sites_arg)
+        return results
+
+    units = _work_units(selected, sites)
+    if not units:
+        return results
+    outputs: List[ExperimentResult] = [None] * len(units)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+        futures = [
+            pool.submit(_run_unit, name, n_days, unit_sites)
+            for name, unit_sites in units
+        ]
+        for i, future in enumerate(futures):
+            outputs[i] = future.result()
     for name in selected:
-        module = modules[name]
-        if name in _TRACE_DRIVEN:
-            if name == "table5" and sites is None:
-                results[name] = module.run(n_days=n_days)
-            elif name == "fig2":
-                results[name] = module.run(n_days=n_days)
-            else:
-                results[name] = module.run(n_days=n_days, sites=sites)
-        else:
-            results[name] = module.run()
+        parts = [out for (unit_name, _), out in zip(units, outputs) if unit_name == name]
+        results[name] = _merge_parts(parts)
     return results
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.dynamic import clairvoyant_dynamic
-from repro.core.optimizer import grid_search
+from repro.core.optimizer import SweepSpec, sweep_many
 from repro.experiments.common import (
     DEFAULT_N_DAYS,
     PAPER_N_VALUES,
@@ -55,9 +55,16 @@ def run(
     selected = sites_for(sites if sites is not None else DYNAMIC_SITES)
     rows = []
     for site in selected:
+        # Static optima for every supported N in one sweep_many call
+        # (shared trace via trace_for, shared kernels per batch); the
+        # clairvoyant passes then reuse the same batches.
+        specs = []
         for n_slots in supported_n_for_site(site, n_values):
             batch = batch_for(site, n_days, n_slots)
-            static = grid_search(batch.view.trace, n_slots, batch=batch)
+            specs.append(SweepSpec(batch.view.trace, n_slots, batch=batch))
+        for spec, static in zip(specs, sweep_many(specs)):
+            n_slots = spec.n_slots
+            batch = spec.batch
             days = static.best.days
             both = clairvoyant_dynamic(
                 batch.view.trace, n_slots, days, mode="both", batch=batch

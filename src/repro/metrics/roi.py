@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["roi_mask", "DEFAULT_ROI_FRACTION", "DEFAULT_WARMUP_DAYS"]
+__all__ = [
+    "roi_mask",
+    "roi_indices",
+    "DEFAULT_ROI_FRACTION",
+    "DEFAULT_WARMUP_DAYS",
+]
 
 #: Fraction of the peak below which samples are ignored (Section IV-A).
 DEFAULT_ROI_FRACTION = 0.10
@@ -69,3 +74,28 @@ def roi_mask(
     warmup_samples = min(warmup_days * n_slots, reference.size)
     mask[:warmup_samples] = False
     return mask
+
+
+def roi_indices(
+    reference: np.ndarray,
+    n_slots: int,
+    peak: float = None,
+    roi_fraction: float = DEFAULT_ROI_FRACTION,
+    warmup_days: int = DEFAULT_WARMUP_DAYS,
+) -> np.ndarray:
+    """Sorted integer indices of the in-ROI samples.
+
+    The gather-friendly form of :func:`roi_mask` (same parameters): the
+    fused sweep kernels index ``Φ``/``μ``/``q`` arrays directly at the
+    scored positions rather than boolean-masking full-length series, so
+    they want ``np.flatnonzero`` of the mask once, up front.
+    """
+    return np.flatnonzero(
+        roi_mask(
+            reference,
+            n_slots,
+            peak=peak,
+            roi_fraction=roi_fraction,
+            warmup_days=warmup_days,
+        )
+    )

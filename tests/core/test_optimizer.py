@@ -114,3 +114,45 @@ class TestGridSearch:
             grid_search(pfci_trace, 48, alphas=())
         with pytest.raises(ValueError, match="history depth"):
             grid_search(pfci_trace, 48, days=(60,))
+        with pytest.raises(ValueError, match="engine"):
+            grid_search(pfci_trace, 48, engine="vectorised")
+        with pytest.raises(ValueError, match="d_chunk"):
+            grid_search(pfci_trace, 48, d_chunk=0)
+
+    def test_d_equal_trace_length_rejected(self, pfci_trace):
+        """The guard is D >= n_days, not just D > n_days: with D equal
+        to the trace length no complete history row ever exists."""
+        with pytest.raises(ValueError, match="history depth"):
+            grid_search(pfci_trace, 48, days=(pfci_trace.n_days,))
+
+    def test_thin_history_warns_and_flags_meta(self, pfci_trace):
+        """2*max(D) > n_days is legal but scores deep-D grid points on
+        very little data; the sweep must say so."""
+        deep = pfci_trace.n_days // 2 + 1
+        with pytest.warns(RuntimeWarning, match="thin history"):
+            result = grid_search(
+                pfci_trace,
+                48,
+                alphas=(0.5,),
+                days=(deep,),
+                ks=(2,),
+                warmup_days=deep,  # score only where the history is full
+            )
+        assert result.meta["thin_history"] is True
+
+    def test_comfortable_history_no_warning(self, result):
+        assert result.meta["thin_history"] is False
+        assert result.meta["engine"] == "fused"
+
+    def test_loop_engine_same_result(self, pfci_trace, result):
+        loop = grid_search(
+            pfci_trace,
+            48,
+            alphas=SMALL_ALPHAS,
+            days=SMALL_DAYS,
+            ks=SMALL_KS,
+            engine="loop",
+        )
+        assert loop.meta["engine"] == "loop"
+        assert loop.best == result.best
+        np.testing.assert_allclose(loop.errors, result.errors, atol=1e-12, rtol=0.0)

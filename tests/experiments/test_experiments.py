@@ -15,6 +15,7 @@ from repro.experiments.common import (
     format_table,
     sites_for,
     supported_n_for_site,
+    trace_for,
 )
 from repro.experiments.runner import EXPERIMENTS, render_report, run_all
 
@@ -67,6 +68,39 @@ class TestCommon:
             batch_for(survivor[0], survivor[1], survivor[2])
             batch_for("PFCI", 3, 8)
             assert survivor in _BATCH_CACHE
+        finally:
+            clear_batch_cache()
+
+    def test_trace_memo_shared_across_n(self):
+        """One native trace build serves every sampling rate: the batch
+        engines for different N of one (site, n_days) must wrap the
+        *same* trace object."""
+        from repro.experiments.common import clear_batch_cache
+
+        clear_batch_cache()
+        try:
+            a = batch_for("PFCI", DAYS, 48)
+            b = batch_for("PFCI", DAYS, 24)
+            assert a.view.trace is b.view.trace
+            assert trace_for("pfci", DAYS) is a.view.trace
+        finally:
+            clear_batch_cache()
+
+    def test_trace_memo_survives_batch_eviction(self):
+        from repro.experiments.common import (
+            BATCH_CACHE_MAX_ENTRIES,
+            clear_batch_cache,
+        )
+
+        clear_batch_cache()
+        try:
+            first = trace_for("PFCI", 3)
+            n_values = (288, 144, 96, 72, 48, 36, 24, 18, 16, 12)
+            assert len(n_values) > BATCH_CACHE_MAX_ENTRIES
+            for n in n_values:
+                batch_for("PFCI", 3, n)
+            # every batch was evicted and rebuilt against the same trace
+            assert batch_for("PFCI", 3, 288).view.trace is first
         finally:
             clear_batch_cache()
 
@@ -243,3 +277,56 @@ class TestRunner:
             "fig6",
             "fig7",
         )
+
+
+class TestParallelRunner:
+    """run_all(jobs=n) must reproduce the sequential output exactly."""
+
+    def test_parallel_matches_sequential(self):
+        only = ("table1", "table2", "fig7")
+        sequential = run_all(n_days=DAYS, sites=SITES, only=only)
+        parallel = run_all(n_days=DAYS, sites=SITES, only=only, jobs=2)
+        assert list(sequential) == list(parallel)
+        for name in only:
+            assert sequential[name].rows == parallel[name].rows
+            assert sequential[name].headers == parallel[name].headers
+            assert sequential[name].notes == parallel[name].notes
+        assert render_report(sequential) == render_report(parallel)
+
+    def test_parallel_table5_default_sites(self):
+        """table5 with sites=None uses its own four-site list; the
+        per-site work units must reproduce that, not the global six."""
+        sequential = run_all(n_days=DAYS, only=("table5",))
+        parallel = run_all(n_days=DAYS, only=("table5",), jobs=2)
+        assert sequential["table5"].rows == parallel["table5"].rows
+
+    def test_parallel_non_trace_experiments(self):
+        parallel = run_all(n_days=DAYS, only=("table4", "fig6"), jobs=2)
+        sequential = run_all(n_days=DAYS, only=("table4", "fig6"))
+        assert render_report(parallel) == render_report(sequential)
+
+    def test_jobs_one_is_sequential_path(self):
+        a = run_all(n_days=DAYS, sites=("PFCI",), only=("table1",), jobs=1)
+        b = run_all(n_days=DAYS, sites=("PFCI",), only=("table1",))
+        assert a["table1"].rows == b["table1"].rows
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_all(n_days=DAYS, only=("table1",), jobs=0)
+
+    def test_duplicate_experiment_ids_run_once(self):
+        """A repeated id must not double rows in the parallel merge."""
+        sequential = run_all(n_days=DAYS, sites=("PFCI",), only=("table1", "table1"))
+        parallel = run_all(
+            n_days=DAYS, sites=("PFCI",), only=("table1", "table1"), jobs=2
+        )
+        assert len(sequential["table1"].rows) == 1
+        assert sequential["table1"].rows == parallel["table1"].rows
+
+    def test_empty_site_selection(self):
+        """sites=() must yield zero-row results, not drop experiments."""
+        sequential = run_all(n_days=DAYS, sites=(), only=("table1", "table4"))
+        parallel = run_all(n_days=DAYS, sites=(), only=("table1", "table4"), jobs=2)
+        assert sequential["table1"].rows == []
+        assert parallel["table1"].rows == []
+        assert render_report(sequential) == render_report(parallel)

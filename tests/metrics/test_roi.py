@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
+from repro.metrics.roi import roi_indices, DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mask
 
 
 class TestRoiMask:
@@ -60,3 +60,27 @@ class TestRoiMask:
         reference = np.array([10.0, 40.0, 100.0])
         mask = roi_mask(reference, 1, roi_fraction=0.5, warmup_days=0)
         assert mask.tolist() == [False, False, True]
+
+
+class TestRoiIndices:
+    def test_matches_flatnonzero_of_mask(self):
+        rng = np.random.default_rng(7)
+        reference = rng.random(480) * 100.0
+        for warmup in (0, 3):
+            mask = roi_mask(reference, n_slots=24, warmup_days=warmup)
+            idx = roi_indices(reference, n_slots=24, warmup_days=warmup)
+            np.testing.assert_array_equal(idx, np.flatnonzero(mask))
+
+    def test_sorted_and_integer(self):
+        reference = np.concatenate([np.zeros(24), np.full(48, 100.0)])
+        idx = roi_indices(reference, n_slots=24, warmup_days=1)
+        assert idx.dtype.kind == "i"
+        assert (np.diff(idx) > 0).all()
+        assert idx.min() >= 24
+
+    def test_forwards_peak_and_fraction(self):
+        reference = np.array([10.0, 40.0, 100.0])
+        idx = roi_indices(reference, 1, peak=2000.0, roi_fraction=0.5, warmup_days=0)
+        assert idx.tolist() == []
+        idx = roi_indices(reference, 1, roi_fraction=0.5, warmup_days=0)
+        assert idx.tolist() == [2]

@@ -20,6 +20,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table9"])
 
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["run-all", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.jobs is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -38,6 +44,13 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "PFCI" in out and "43200" in out  # 30 * 1440 observations
+
+    def test_run_with_jobs(self, capsys):
+        code = main(
+            ["run", "table1", "--days", "30", "--sites", "PFCI", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "43200" in capsys.readouterr().out
 
     def test_export_trace(self, tmp_path, capsys):
         out_path = tmp_path / "t.csv"
