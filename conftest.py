@@ -1,0 +1,18 @@
+"""Repository-root pytest configuration.
+
+Registers the ``--update-golden`` flag here (the rootdir conftest) so
+it is recognised no matter which test path the run is anchored at; the
+golden-suite tests in ``tests/test_golden.py`` consume it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden snapshots under tests/golden/ from the "
+            "current outputs instead of diffing against them"
+        ),
+    )

@@ -60,7 +60,16 @@ from repro.core import (
 )
 from repro.management import FleetNodeSpec, FleetRunResult, FleetSimulator
 from repro.metrics import evaluate_predictor
-from repro.solar import SolarTrace, SlotView, build_dataset, generate_trace, get_site
+from repro.solar import (
+    Scenario,
+    SlotView,
+    SolarTrace,
+    available_scenarios,
+    build_dataset,
+    generate_trace,
+    get_site,
+    make_scenario,
+)
 
 __version__ = "1.1.0"
 
@@ -84,4 +93,7 @@ __all__ = [
     "build_dataset",
     "generate_trace",
     "get_site",
+    "Scenario",
+    "make_scenario",
+    "available_scenarios",
 ]

@@ -14,6 +14,10 @@ Quick look at one experiment on shorter traces::
 Export a synthetic trace for external tooling::
 
     repro-solar export-trace PFCI --days 30 --out pfci.csv
+
+Score every predictor against degraded traces (scenario engine)::
+
+    repro-solar robustness --days 120 --scenarios clean dropout regime-shift --jobs 4
 """
 
 from __future__ import annotations
@@ -26,8 +30,32 @@ from repro.experiments.fleet import CONTROLLER_KINDS
 from repro.experiments.runner import EXPERIMENTS, render_report, run_all
 from repro.solar.datasets import available_datasets, build_dataset
 from repro.solar.io import write_csv
+from repro.solar.scenarios import DEFAULT_SCENARIO_SEED, available_scenarios
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (clear error, no traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for seeds: ``numpy.random.SeedSequence`` rejects
+    negative entropy, so catch it at the parser instead of a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,15 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     export_p = sub.add_parser("export-trace", help="write a synthetic trace CSV")
     export_p.add_argument("site", choices=available_datasets())
-    export_p.add_argument("--days", type=int, default=365)
-    export_p.add_argument("--seed", type=int, default=None)
+    export_p.add_argument("--days", type=_positive_int, default=365)
+    export_p.add_argument("--seed", type=_non_negative_int, default=None)
     export_p.add_argument("--out", required=True, help="output CSV path")
 
     tune_p = sub.add_parser(
         "tune", help="exhaustive (alpha, D, K) sweep on a site or trace CSV"
     )
     _add_trace_source(tune_p)
-    tune_p.add_argument("--n", type=int, default=48, help="slots per day")
+    tune_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
     tune_p.add_argument(
         "--objective", choices=("mape", "mape_prime"), default="mape"
     )
@@ -72,13 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="score every registered predictor on a site or CSV"
     )
     _add_trace_source(compare_p)
-    compare_p.add_argument("--n", type=int, default=48, help="slots per day")
+    compare_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
 
     summarize_p = sub.add_parser(
         "summarize", help="detailed error diagnostics for one predictor"
     )
     _add_trace_source(summarize_p)
-    summarize_p.add_argument("--n", type=int, default=48, help="slots per day")
+    summarize_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
     summarize_p.add_argument("--predictor", default="wcma")
 
     fleet_p = sub.add_parser(
@@ -86,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a heterogeneous node fleet in lock-step",
     )
     fleet_p.add_argument(
-        "--nodes", type=int, default=64, help="fleet size (default 64)"
+        "--nodes", type=_positive_int, default=64, help="fleet size (default 64)"
     )
     fleet_p.add_argument(
         "--sites",
@@ -96,9 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="sites cycled across the fleet (default SPMD)",
     )
     fleet_p.add_argument(
-        "--days", type=int, default=30, help="trace length in days (default 30)"
+        "--days", type=_positive_int, default=30, help="trace length in days (default 30)"
     )
-    fleet_p.add_argument("--n", type=int, default=48, help="slots per day")
+    fleet_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
     fleet_p.add_argument(
         "--predictors",
         nargs="+",
@@ -122,10 +150,88 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JOULES",
         help="storage capacities cycled across the fleet (default 250 J)",
     )
+    fleet_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=available_scenarios(),
+        metavar="NAME",
+        help="trace-degradation scenarios cycled across the fleet",
+    )
+    fleet_p.add_argument(
+        "--scenario-seed",
+        type=_non_negative_int,
+        default=DEFAULT_SCENARIO_SEED,
+        help="seed of the scenario engine (with --scenarios)",
+    )
+
+    rob_p = sub.add_parser(
+        "robustness",
+        help="scenario robustness matrix: degraded traces x sites x predictors",
+    )
+    rob_p.add_argument(
+        "--days", type=_positive_int, default=365, help="trace length in days (default 365)"
+    )
+    rob_p.add_argument(
+        "--sites",
+        nargs="+",
+        default=None,
+        metavar="SITE",
+        help="restrict to these sites (default: the paper's six)",
+    )
+    rob_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=available_scenarios(),
+        metavar="NAME",
+        help=(
+            "scenario subset (default: the built-in matrix; 'clean' is "
+            "always included as the baseline)"
+        ),
+    )
+    rob_p.add_argument(
+        "--predictors",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="registry predictors to score (default: wcma ewma persistence)",
+    )
+    rob_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
+    rob_p.add_argument(
+        "--seed",
+        type=_non_negative_int,
+        default=DEFAULT_SCENARIO_SEED,
+        help="scenario-engine seed (the whole report is a function of it)",
+    )
+    rob_p.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes, one (site, scenario) cell per unit",
+    )
+    rob_p.add_argument(
+        "--no-tune",
+        action="store_true",
+        help="skip the per-cell WCMA grid-search (wcma-tuned rows)",
+    )
+    rob_p.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the fleet-robustness table (one node per cell)",
+    )
+    rob_p.add_argument(
+        "--fleet-days",
+        type=_positive_int,
+        default=30,
+        metavar="DAYS",
+        help="trace length of the fleet-robustness table (default 30)",
+    )
 
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
     plot_p.add_argument("figure", choices=("fig2", "fig7"))
-    plot_p.add_argument("--days", type=int, default=365)
+    plot_p.add_argument("--days", type=_positive_int, default=365)
     plot_p.add_argument("--site", default="SPMD", help="site for fig2")
     plot_p.add_argument(
         "--sites", nargs="+", default=None, metavar="SITE", help="sites for fig7"
@@ -140,7 +246,7 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     source.add_argument("--site", choices=available_datasets())
     source.add_argument("--trace", help="path to a repro-solar-trace CSV")
     parser.add_argument(
-        "--days", type=int, default=365, help="synthetic trace length (with --site)"
+        "--days", type=_positive_int, default=365, help="synthetic trace length (with --site)"
     )
 
 
@@ -154,7 +260,7 @@ def _load_trace(args):
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--days", type=int, default=365, help="trace length in days (default 365)"
+        "--days", type=_positive_int, default=365, help="trace length in days (default 365)"
     )
     parser.add_argument(
         "--sites",
@@ -165,7 +271,7 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help=(
@@ -177,12 +283,85 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """Entry point; returns the process exit code.
 
+    Argument *shape* errors (unknown subcommand, bad choices,
+    non-positive ``--jobs``) exit through argparse with status 2;
+    unknown site/predictor names are rejected by :func:`_validate_names`
+    before any work starts, printed as one clear ``error:`` line, also
+    with status 2.  Genuine library defects still traceback -- the
+    catch is confined to the up-front validation step so it can never
+    mask a bug as a configuration mistake.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        _validate_names(args)
+    except ValueError as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    return _dispatch(args)
+
+
+def _validate_names(args) -> None:
+    """Reject unknown site/predictor names and bad (site, N) pairs.
+
+    Scenario and experiment names are already constrained by argparse
+    ``choices`` and the size options by :func:`_positive_int`; sites,
+    registry predictor names and N-vs-site divisibility are free-form,
+    so they are checked here, eagerly, against the same validators the
+    library uses.  (An ``--n`` paired with a ``--trace`` CSV can only
+    be checked after the file is read, so that path stays a library
+    error.)
+    """
+    from repro.core.registry import available_predictors
+    from repro.experiments.common import sites_for
+    from repro.solar.sites import get_site
+
+    sites = getattr(args, "sites", None)
+    if sites:
+        sites_for(sites)
+    site = getattr(args, "site", None)
+    if site is not None and site.upper() not in available_datasets():
+        raise ValueError(
+            f"unknown site {site!r}; available: {', '.join(available_datasets())}"
+        )
+    known = available_predictors()
+    predictor = getattr(args, "predictor", None)
+    if predictor is not None and predictor.lower() not in known:
+        raise ValueError(
+            f"unknown predictor {predictor!r}; available: {', '.join(known)}"
+        )
+    predictors = getattr(args, "predictors", None)
+    if predictors:
+        unknown = [p for p in predictors if p.lower() not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown predictors: {unknown}; available: {known}"
+            )
+    n_slots = getattr(args, "n", None)
+    if n_slots is not None:
+        if site is not None:
+            check_sites = (site.upper(),)
+        elif sites:
+            check_sites = tuple(s.upper() for s in sites)
+        elif getattr(args, "command", None) == "robustness":
+            check_sites = available_datasets()  # defaults to all six
+        else:
+            check_sites = ()
+        for name in check_sites:
+            spd = get_site(name).samples_per_day
+            if spd % n_slots:
+                raise ValueError(
+                    f"N={n_slots} does not divide samples per day "
+                    f"({spd}) of site {name}"
+                )
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
         print("data sets:  ", ", ".join(available_datasets()))
+        print("scenarios:  ", ", ".join(available_scenarios()))
         return 0
 
     if args.command == "export-trace":
@@ -251,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             controllers=args.controllers,
             capacities=args.capacities,
             n_slots=args.n,
+            scenarios=args.scenarios,
+            scenario_seed=args.scenario_seed,
         )
         result, elapsed = run_fleet(specs, args.n)
         print(fleet_result_table(result, specs).render())
@@ -261,6 +442,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"throughput: {node_slots:,} node-slots in {elapsed:.2f}s "
             f"({node_slots / elapsed:,.0f} node-slots/sec)"
         )
+        return 0
+
+    if args.command == "robustness":
+        from repro.experiments.robustness import run as run_robustness
+        from repro.experiments.robustness import run_fleet_robustness
+        from repro.metrics import format_robustness_summary, summarise_robustness
+
+        result = run_robustness(
+            n_days=args.days,
+            sites=args.sites,
+            scenarios=args.scenarios,
+            predictors=args.predictors,
+            n_slots=args.n,
+            seed=args.seed,
+            jobs=args.jobs,
+            tune_wcma=not args.no_tune,
+        )
+        print(result.render())
+        print()
+        summary_predictor = result.meta["predictors"][0]
+        print(
+            format_robustness_summary(
+                summarise_robustness(result.rows, predictor=summary_predictor)
+            )
+        )
+        if not args.no_fleet:
+            fleet_result = run_fleet_robustness(
+                n_days=args.fleet_days,
+                sites=args.sites,
+                scenarios=args.scenarios,
+                n_slots=args.n,
+                seed=args.seed,
+            )
+            print()
+            print(fleet_result.render())
         return 0
 
     if args.command == "plot":

@@ -18,6 +18,11 @@ Every module exposes ``run(...)`` returning an
 the regenerated numbers and whose ``render()`` prints the paper-style
 table.  :mod:`repro.experiments.runner` drives them all and emits the
 paper-vs-measured comparison recorded in EXPERIMENTS.md.
+
+Beyond the paper: :mod:`repro.experiments.fleet` (heterogeneous
+lock-step fleets) and :mod:`repro.experiments.robustness` (the
+scenario x site x predictor degradation matrix over
+:mod:`repro.solar.scenarios`-perturbed traces).
 """
 
 from repro.experiments.common import ExperimentResult, batch_for, format_table
@@ -25,6 +30,7 @@ from repro.experiments import (
     fig2,
     fig6,
     fig7,
+    robustness,
     table1,
     table2,
     table3,
@@ -45,5 +51,6 @@ __all__ = [
     "fig2",
     "fig6",
     "fig7",
+    "robustness",
     "run_all",
 ]

@@ -27,6 +27,7 @@ from repro.management.fleet import FleetNodeSpec, FleetRunResult, FleetSimulator
 from repro.management.harvester import PVHarvester
 from repro.management.storage import Battery, Supercapacitor
 from repro.solar.datasets import build_dataset
+from repro.solar.scenarios import DEFAULT_SCENARIO_SEED, make_scenario
 
 __all__ = [
     "CONTROLLER_KINDS",
@@ -75,16 +76,24 @@ def build_fleet_specs(
     panel_area_m2: float = 25e-4,
     load: DutyCycledLoad = DEFAULT_FLEET_LOAD,
     supercap_threshold_joules: float = 1000.0,
+    scenarios: Optional[Sequence[str]] = None,
+    scenario_seed: int = DEFAULT_SCENARIO_SEED,
 ) -> List[FleetNodeSpec]:
     """A heterogeneous fleet: node ``i`` cycles through every axis.
 
-    The axes (predictor, controller kind, capacity, site) are
+    The axes (predictor, controller kind, capacity, scenario, site) are
     enumerated mixed-radix -- the predictor varies fastest, the site
     slowest -- so equal-length axes do not alias (plain round-robin
     would pair predictor ``j`` with controller ``j`` forever) and a
     large enough fleet covers every combination.  Stores below
     ``supercap_threshold_joules`` are modelled as supercapacitors,
     larger ones as batteries.
+
+    ``scenarios`` optionally cycles registered trace-degradation
+    scenarios (:mod:`repro.solar.scenarios`) across the fleet: each
+    (site, scenario) pair shares one perturbed trace object, so the
+    simulator still groups nodes per trace.  ``None`` keeps every node
+    on the clean trace (and the node names unchanged).
     """
     if n_nodes <= 0:
         raise ValueError("n_nodes must be positive")
@@ -98,6 +107,15 @@ def build_fleet_specs(
                 f"N={n_slots} does not divide samples per day "
                 f"({trace.samples_per_day}) of site {site}"
             )
+    scenario_names = (
+        tuple(s.lower() for s in scenarios) if scenarios else ("clean",)
+    )
+    # Scenario *names* are validated eagerly (cheap); the perturbed
+    # traces themselves are built lazily below -- a small fleet only
+    # pays for the (site, scenario) pairs its nodes actually draw.
+    built = {name: make_scenario(name, seed=scenario_seed) for name in scenario_names}
+    perturbed: Dict[Tuple[str, str], object] = {}
+    label_scenarios = scenarios is not None
     specs: List[FleetNodeSpec] = []
     for i in range(n_nodes):
         digits = i
@@ -107,17 +125,25 @@ def build_fleet_specs(
         digits //= len(controllers)
         capacity = float(capacities[digits % len(capacities)])
         digits //= len(capacities)
+        scenario_name = scenario_names[digits % len(scenario_names)]
+        digits //= len(scenario_names)
         site = site_list[digits % len(site_list)]
         store_cls = Supercapacitor if capacity < supercap_threshold_joules else Battery
+        name = f"{site.lower()}-{predictor}-{controller_kind}-{i}"
+        if label_scenarios:
+            name = f"{site.lower()}-{scenario_name}-{predictor}-{controller_kind}-{i}"
+        key = (site, scenario_name)
+        if key not in perturbed:
+            perturbed[key] = built[scenario_name].apply(traces[site])
         specs.append(
             FleetNodeSpec(
-                trace=traces[site],
+                trace=perturbed[key],
                 controller=make_controller(controller_kind, capacity, load=load),
                 predictor=predictor,
                 harvester=PVHarvester(area_m2=panel_area_m2),
                 storage=store_cls(capacity_joules=capacity, initial_soc=0.5),
                 load=load,
-                name=f"{site.lower()}-{predictor}-{controller_kind}-{i}",
+                name=name,
             )
         )
     return specs

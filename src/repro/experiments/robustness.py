@@ -1,0 +1,430 @@
+"""Robustness experiment matrix: (scenario x site x predictor).
+
+The paper scores predictors on clean traces only.  This module runs the
+same evaluation pipeline over *degraded* traces from the scenario
+engine (:mod:`repro.solar.scenarios`) and reports how much each
+degradation costs each predictor, relative to the clean baseline.
+
+Two harnesses:
+
+* :func:`run` -- the prediction-robustness matrix.  For every
+  (scenario, site) cell the perturbed trace is scored by each registry
+  predictor (WCMA at the paper's recommended parameters goes through
+  the shared :class:`~repro.core.wcma.WCMABatch` engine) and, when
+  ``tune_wcma`` is on, by a re-tuned WCMA whose full ``(alpha, D, K)``
+  grid search runs through :func:`~repro.core.optimizer.sweep_many`
+  against the same batch caches.  The ``clean`` scenario is always
+  included so every row carries its degradation against the clean
+  baseline of the same (site, predictor).
+* :func:`run_fleet_robustness` -- the deployment view: one fleet node
+  per (site, scenario) pair, every node holding a differently-degraded
+  trace, stepped in lock-step by the
+  :class:`~repro.management.fleet.FleetSimulator` -- heterogeneous
+  per-node scenarios are exactly what the fleet engine's grouping was
+  built for.  Reports duty/downtime/waste per cell.
+
+Parallel execution mirrors :mod:`repro.experiments.runner`: the unit of
+work is one (site, scenario) cell, cells are independent by
+construction, workers own private trace caches, and the merged output
+is byte-identical to the sequential path (the degradation column is
+computed *after* the merge in both paths).  Everything is seeded
+through the scenario engine, so the same seed produces the same report
+at any ``jobs``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.optimizer import SweepSpec, mape_for_params, sweep_many
+from repro.core.registry import available_predictors, make_predictor
+from repro.core.wcma import WCMABatch, WCMAParams
+from repro.experiments.common import (
+    DEFAULT_N_DAYS,
+    ExperimentResult,
+    sites_for,
+    trace_for,
+)
+from repro.metrics.evaluate import evaluate_predictor
+from repro.solar.scenarios import (
+    DEFAULT_SCENARIO_SEED,
+    available_scenarios,
+    make_scenario,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIOS",
+    "DEFAULT_MATRIX_PREDICTORS",
+    "TUNED_WCMA_LABEL",
+    "scenarios_for",
+    "run",
+    "run_fleet_robustness",
+]
+
+#: Scenario names evaluated by default: the clean baseline plus every
+#: qualitatively distinct degradation in the built-in catalogue.
+DEFAULT_SCENARIOS = (
+    "clean",
+    "soiling",
+    "soiling-washout",
+    "shading",
+    "dropout",
+    "stuck",
+    "gaps-hold",
+    "regime-shift",
+    "jitter",
+    "harsh-field",
+)
+
+#: Registry predictors scored per cell by default.  WCMA runs at the
+#: paper's recommended (alpha=0.7, D=10, K=2).
+DEFAULT_MATRIX_PREDICTORS = ("wcma", "ewma", "persistence")
+
+#: Row label of the re-tuned WCMA (full grid search per cell).
+TUNED_WCMA_LABEL = "wcma-tuned"
+
+#: Paper-recommended operating point (Section IV-B).
+_PAPER_PARAMS = WCMAParams(alpha=0.7, days=10, k=2)
+
+_MATRIX_HEADERS = [
+    "scenario",
+    "site",
+    "predictor",
+    "MAPE %",
+    "dMAPE vs clean (pp)",
+    "tuned params",
+]
+
+
+def scenarios_for(names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Normalise a scenario selection (None -> the default ten).
+
+    Unknown names raise :class:`ValueError`; ``clean`` is prepended
+    when missing so every matrix carries its own baseline; duplicates
+    collapse to the first occurrence.
+    """
+    if names is None:
+        return DEFAULT_SCENARIOS
+    resolved = tuple(dict.fromkeys(s.lower() for s in names))
+    known = available_scenarios()
+    unknown = [s for s in resolved if s not in known]
+    if unknown:
+        raise ValueError(f"unknown scenarios: {unknown}; available: {known}")
+    if "clean" not in resolved:
+        resolved = ("clean",) + resolved
+    return resolved
+
+
+def _predictors_for(names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    if names is None:
+        return DEFAULT_MATRIX_PREDICTORS
+    resolved = tuple(dict.fromkeys(n.lower() for n in names))
+    known = available_predictors()
+    unknown = [n for n in resolved if n not in known]
+    if unknown:
+        raise ValueError(f"unknown predictors: {unknown}; available: {known}")
+    return resolved
+
+
+def _matrix_unit(
+    site: str,
+    scenario_name: str,
+    n_days: int,
+    n_slots: int,
+    predictors: Tuple[str, ...],
+    seed: int,
+    tune_wcma: bool,
+) -> List[dict]:
+    """Score every predictor on one (site, scenario) cell.
+
+    Module-level and primitive-argument so process pools can pickle it;
+    the perturbed trace and its batch engine are built inside the
+    worker (the base trace comes from the worker's own
+    :func:`~repro.experiments.common.trace_for` memo).
+    """
+    base = trace_for(site, n_days)
+    perturbed = make_scenario(scenario_name, seed=seed).apply(base)
+    # The batch engine only serves the WCMA paths; a baselines-only
+    # matrix should not pay for its prefix-sum caches.
+    batch = None
+    if tune_wcma or "wcma" in predictors:
+        batch = WCMABatch.from_trace(perturbed, n_slots)
+    rows: List[dict] = []
+    for name in predictors:
+        if name == "wcma":
+            error = mape_for_params(
+                perturbed, n_slots, _PAPER_PARAMS, batch=batch
+            )
+        else:
+            run_ = evaluate_predictor(
+                make_predictor(name, n_slots), perturbed, n_slots
+            )
+            error = run_.mape
+        rows.append(_matrix_row(scenario_name, site, name, error))
+    if tune_wcma:
+        sweep = sweep_many(
+            [SweepSpec(perturbed, n_slots, "mape", batch=batch)]
+        )[0]
+        row = _matrix_row(
+            scenario_name, site, TUNED_WCMA_LABEL, sweep.best_error
+        )
+        best = sweep.best
+        row["tuned params"] = f"a={best.alpha:.1f} D={best.days} K={best.k}"
+        rows.append(row)
+    return rows
+
+
+def _matrix_row(scenario: str, site: str, predictor: str, error: float) -> dict:
+    return {
+        "scenario": scenario,
+        "site": site,
+        "predictor": predictor,
+        # Machine-friendly fraction; the displayed columns are derived.
+        "mape": float(error),
+        "MAPE %": round(100.0 * error, 2),
+        "dMAPE vs clean (pp)": None,
+        "tuned params": None,
+    }
+
+
+def run(
+    n_days: int = DEFAULT_N_DAYS,
+    sites: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    predictors: Optional[Sequence[str]] = None,
+    n_slots: int = 48,
+    seed: int = DEFAULT_SCENARIO_SEED,
+    jobs: Optional[int] = None,
+    tune_wcma: bool = True,
+) -> ExperimentResult:
+    """The robustness matrix: every (scenario, site, predictor) cell.
+
+    Parameters
+    ----------
+    n_days:
+        Trace length; 365 matches the paper's evaluation window.
+    sites:
+        Site subset (None = the paper's six).
+    scenarios:
+        Scenario subset (None = :data:`DEFAULT_SCENARIOS`); ``clean``
+        is always included as the degradation baseline.
+    predictors:
+        Registry predictor names (None =
+        :data:`DEFAULT_MATRIX_PREDICTORS`).
+    n_slots:
+        Slots per day; 48 divides every site's native rate.
+    seed:
+        Scenario-engine seed; the whole report is a pure function of
+        ``(seed, n_days, sites, scenarios, predictors, n_slots)``.
+    jobs:
+        Worker processes (None/1 = sequential; output identical).
+    tune_wcma:
+        Also re-tune WCMA per cell via a full grid search through
+        :func:`~repro.core.optimizer.sweep_many`.
+    """
+    site_list = sites_for(sites)
+    scenario_list = scenarios_for(scenarios)
+    predictor_list = _predictors_for(predictors)
+    if n_days <= 0:
+        raise ValueError(f"n_days must be positive, got {n_days}")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    units = [(site, scenario) for site in site_list for scenario in scenario_list]
+    outputs: List[List[dict]]
+    if jobs is None or jobs == 1 or len(units) <= 1:
+        outputs = [
+            _matrix_unit(
+                site, scenario, n_days, n_slots, predictor_list, seed, tune_wcma
+            )
+            for site, scenario in units
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+            futures = [
+                pool.submit(
+                    _matrix_unit,
+                    site,
+                    scenario,
+                    n_days,
+                    n_slots,
+                    predictor_list,
+                    seed,
+                    tune_wcma,
+                )
+                for site, scenario in units
+            ]
+            outputs = [future.result() for future in futures]
+
+    rows = [row for unit_rows in outputs for row in unit_rows]
+    _fill_degradation(rows)
+    return ExperimentResult(
+        experiment="robustness",
+        title=(
+            f"scenario robustness matrix: {len(scenario_list)} scenarios x "
+            f"{len(site_list)} sites x "
+            f"{len(predictor_list) + bool(tune_wcma)} predictors "
+            f"({n_days} days, N={n_slots}, seed={seed})"
+        ),
+        headers=list(_MATRIX_HEADERS),
+        rows=rows,
+        notes=(
+            "dMAPE is percentage points above the same (site, predictor) "
+            "cell under the clean scenario; wcma runs the paper's "
+            "(alpha=0.7, D=10, K=2), wcma-tuned re-optimises the full "
+            "grid per cell."
+        ),
+        meta={
+            "sites": site_list,
+            "scenarios": scenario_list,
+            "predictors": predictor_list,
+            "tune_wcma": bool(tune_wcma),
+            "n_days": n_days,
+            "n_slots": n_slots,
+            "seed": seed,
+        },
+    )
+
+
+def _fill_degradation(rows: List[dict]) -> None:
+    """Populate the Δ-vs-clean column in place (after any merge)."""
+    clean: Dict[Tuple[str, str], float] = {}
+    for row in rows:
+        if row["scenario"] == "clean":
+            clean[(row["site"], row["predictor"])] = row["mape"]
+    for row in rows:
+        baseline = clean.get((row["site"], row["predictor"]))
+        if baseline is not None:
+            row["dMAPE vs clean (pp)"] = round(
+                100.0 * (row["mape"] - baseline), 2
+            )
+
+
+def run_fleet_robustness(
+    n_days: int = 30,
+    sites: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    n_slots: int = 48,
+    seed: int = DEFAULT_SCENARIO_SEED,
+    predictor: str = "wcma",
+    controller: str = "kansal",
+    capacity_joules: float = 250.0,
+) -> ExperimentResult:
+    """Deployment robustness: one fleet node per (site, scenario).
+
+    Every node carries the same hardware (mote-class load, one storage
+    cell, the same predictor and controller) but a *differently
+    degraded* trace, and the whole heterogeneous fleet advances in
+    lock-step through one :class:`~repro.management.fleet.FleetSimulator`.
+    The interesting output is not prediction error but its downstream
+    consequence: achieved duty, downtime and wasted harvest per
+    scenario.
+
+    The fleet itself comes from
+    :func:`~repro.experiments.fleet.build_fleet_specs` with the
+    scenario axis engaged: with single predictor/controller/capacity
+    axes its mixed-radix enumeration makes the scenario vary fastest
+    and the site slowest, so ``n_sites * n_scenarios`` nodes cover each
+    (site, scenario) cell exactly once, in the row order reported here
+    -- and the robustness fleet models exactly the same hardware as
+    ``repro-solar fleet``.
+    """
+    from repro.experiments.fleet import build_fleet_specs
+    from repro.management.fleet import FleetSimulator
+
+    site_list = sites_for(sites)
+    scenario_list = scenarios_for(scenarios)
+    if n_days <= 0:
+        raise ValueError(f"n_days must be positive, got {n_days}")
+    specs = build_fleet_specs(
+        n_nodes=len(site_list) * len(scenario_list),
+        sites=site_list,
+        n_days=n_days,
+        predictors=(predictor,),
+        controllers=(controller,),
+        capacities=(capacity_joules,),
+        n_slots=n_slots,
+        scenarios=scenario_list,
+        scenario_seed=seed,
+    )
+    result = FleetSimulator(specs, n_slots).run()
+
+    rows = []
+    node = 0
+    clean_downtime: Dict[str, float] = {}
+    for site in site_list:
+        for scenario_name in scenario_list:
+            # Cross-check the assumed node order against the spec's own
+            # label so an axis reshuffle in build_fleet_specs can never
+            # silently misattribute a cell.
+            expected_prefix = f"{site.lower()}-{scenario_name}-"
+            if not specs[node].name.startswith(expected_prefix):
+                raise RuntimeError(
+                    f"fleet spec order mismatch: node {node} is "
+                    f"{specs[node].name!r}, expected a "
+                    f"{expected_prefix!r} node -- build_fleet_specs "
+                    "axis order changed"
+                )
+            downtime = float(result.downtime_fraction[node])
+            if scenario_name == "clean":
+                clean_downtime[site] = downtime
+            rows.append(
+                {
+                    "scenario": scenario_name,
+                    "site": site,
+                    "mean duty %": round(100.0 * float(result.mean_duty[node]), 2),
+                    "downtime %": round(100.0 * downtime, 2),
+                    "waste %": round(
+                        100.0 * float(result.waste_fraction[node]), 2
+                    ),
+                    "final soc %": round(
+                        100.0 * float(result.final_soc[node]), 2
+                    ),
+                    # Machine-friendly duplicates for summaries/tests.
+                    "downtime": downtime,
+                    "mean_duty": float(result.mean_duty[node]),
+                }
+            )
+            node += 1
+    for row in rows:
+        baseline = clean_downtime.get(row["site"])
+        row["ddowntime (pp)"] = (
+            round(100.0 * (row["downtime"] - baseline), 2)
+            if baseline is not None
+            else None
+        )
+    return ExperimentResult(
+        experiment="robustness-fleet",
+        title=(
+            f"fleet robustness: {len(site_list)} sites x "
+            f"{len(scenario_list)} scenarios, one node per cell "
+            f"({n_days} days, N={n_slots}, {predictor}/{controller}, "
+            f"{capacity_joules:g} J)"
+        ),
+        headers=[
+            "scenario",
+            "site",
+            "mean duty %",
+            "downtime %",
+            "ddowntime (pp)",
+            "waste %",
+            "final soc %",
+        ],
+        rows=rows,
+        notes=(
+            "Each row is one lock-step fleet node running the scenario's "
+            "degraded trace; ddowntime is percentage points of downtime "
+            "above the same site's clean node."
+        ),
+        meta={
+            "sites": site_list,
+            "scenarios": scenario_list,
+            "predictor": predictor,
+            "controller": controller,
+            "n_days": n_days,
+            "n_slots": n_slots,
+            "seed": seed,
+            "n_nodes": len(specs),
+        },
+    )

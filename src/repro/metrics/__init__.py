@@ -21,11 +21,14 @@ from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mas
 from repro.metrics.evaluate import PredictionRun, evaluate_predictor
 from repro.metrics.summary import (
     FleetSummary,
+    RobustnessSummary,
     RunSummary,
     format_fleet_summary,
+    format_robustness_summary,
     format_summary,
     summarise,
     summarise_fleet,
+    summarise_robustness,
 )
 
 __all__ = [
@@ -46,4 +49,7 @@ __all__ = [
     "FleetSummary",
     "summarise_fleet",
     "format_fleet_summary",
+    "RobustnessSummary",
+    "summarise_robustness",
+    "format_robustness_summary",
 ]

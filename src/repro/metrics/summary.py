@@ -12,6 +12,12 @@ which matter differently to an energy-neutral controller).
 question at fleet scale is not one node's average but the *spread* --
 which fraction of the deployment browns out, how unequal the achieved
 duty is across sites, and which node is worst.
+
+:func:`summarise_robustness` digests the robustness experiment matrix
+(:mod:`repro.experiments.robustness`): per scenario, the mean error of
+one predictor across sites and its degradation against the clean
+baseline, plus which degradation hurts most.  It operates on plain row
+dicts so the metrics layer stays decoupled from the experiments layer.
 """
 
 from __future__ import annotations
@@ -30,6 +36,9 @@ __all__ = [
     "FleetSummary",
     "summarise_fleet",
     "format_fleet_summary",
+    "RobustnessSummary",
+    "summarise_robustness",
+    "format_robustness_summary",
 ]
 
 #: Days per month used for the monthly breakdown (non-leap year).
@@ -184,6 +193,103 @@ def summarise_fleet(result) -> FleetSummary:
         waste_fraction=aggregate["waste_fraction"],
         mean_final_soc=aggregate["mean_final_soc"],
     )
+
+
+@dataclass(frozen=True)
+class RobustnessSummary:
+    """Per-scenario digest of one predictor's robustness matrix.
+
+    MAPE values are fractions; degradations are percentage points
+    (``100 * (scenario_mape - clean_mape)``), averaged across sites.
+    """
+
+    predictor: str
+    n_sites: int
+    clean_mape: float
+    scenario_mape: Dict[str, float]
+    scenario_degradation_pp: Dict[str, float]
+    worst_scenario: str
+    worst_degradation_pp: float
+    most_benign_scenario: str
+    most_benign_degradation_pp: float
+
+
+def summarise_robustness(rows, predictor: str = "wcma") -> RobustnessSummary:
+    """Digest robustness-matrix rows for one predictor.
+
+    ``rows`` are the row dicts of the robustness
+    :class:`~repro.experiments.common.ExperimentResult` -- each carrying
+    ``scenario``, ``site``, ``predictor`` and the machine-friendly
+    ``mape`` fraction.  The ``clean`` scenario must be present (the
+    matrix runner always includes it); degradation is averaged over the
+    sites the scenario was scored on.
+    """
+    by_scenario: Dict[str, List[float]] = {}
+    clean_by_site: Dict[str, float] = {}
+    degradation_rows: Dict[str, List[float]] = {}
+    for row in rows:
+        if row["predictor"] != predictor:
+            continue
+        by_scenario.setdefault(row["scenario"], []).append(row["mape"])
+        if row["scenario"] == "clean":
+            clean_by_site[row["site"]] = row["mape"]
+    if not by_scenario:
+        raise ValueError(f"no rows for predictor {predictor!r}")
+    if "clean" not in by_scenario:
+        raise ValueError("robustness rows lack the 'clean' baseline scenario")
+    for row in rows:
+        if row["predictor"] != predictor:
+            continue
+        baseline = clean_by_site.get(row["site"])
+        if baseline is not None:
+            degradation_rows.setdefault(row["scenario"], []).append(
+                row["mape"] - baseline
+            )
+    scenario_mape = {
+        name: float(np.mean(values)) for name, values in by_scenario.items()
+    }
+    degradation_pp = {
+        name: 100.0 * float(np.mean(values))
+        for name, values in degradation_rows.items()
+    }
+    ranked = {k: v for k, v in degradation_pp.items() if k != "clean"}
+    worst = max(ranked, key=ranked.get) if ranked else "clean"
+    benign = min(ranked, key=ranked.get) if ranked else "clean"
+    return RobustnessSummary(
+        predictor=predictor,
+        n_sites=len(clean_by_site),
+        clean_mape=scenario_mape["clean"],
+        scenario_mape=scenario_mape,
+        scenario_degradation_pp=degradation_pp,
+        worst_scenario=worst,
+        worst_degradation_pp=ranked.get(worst, 0.0),
+        most_benign_scenario=benign,
+        most_benign_degradation_pp=ranked.get(benign, 0.0),
+    )
+
+
+def format_robustness_summary(summary: RobustnessSummary) -> str:
+    """Human-readable multi-line rendering of a :class:`RobustnessSummary`."""
+    lines: List[str] = []
+    lines.append(
+        f"robustness ({summary.predictor}): "
+        f"{len(summary.scenario_mape)} scenarios x {summary.n_sites} sites; "
+        f"clean MAPE {summary.clean_mape:.2%}"
+    )
+    for name in summary.scenario_mape:
+        if name == "clean":
+            continue
+        lines.append(
+            f"  {name:<16} MAPE {summary.scenario_mape[name]:7.2%}  "
+            f"{summary.scenario_degradation_pp[name]:+.2f}pp vs clean"
+        )
+    lines.append(
+        f"most harmful: {summary.worst_scenario} "
+        f"({summary.worst_degradation_pp:+.2f}pp); most benign: "
+        f"{summary.most_benign_scenario} "
+        f"({summary.most_benign_degradation_pp:+.2f}pp)"
+    )
+    return "\n".join(lines)
 
 
 def format_fleet_summary(summary: FleetSummary) -> str:

@@ -23,6 +23,9 @@ generator:
   algorithm (start-of-slot samples and slot mean power, Fig. 4).
 * :mod:`repro.solar.io` -- NREL-MIDC-like CSV round-trip.
 * :mod:`repro.solar.datasets` -- ``build_dataset(name)`` front-end.
+* :mod:`repro.solar.scenarios` -- composable, seeded trace-degradation
+  scenarios (soiling, shading, sensor faults, gaps, regime shifts,
+  clock jitter) and their registry.
 """
 
 from repro.solar.trace import SolarTrace
@@ -32,6 +35,13 @@ from repro.solar.synthetic import generate_trace
 from repro.solar.datasets import available_datasets, build_dataset
 from repro.solar.statistics import DayStatistics, trace_statistics
 from repro.solar.calibration import calibrate_site
+from repro.solar.scenarios import (
+    Scenario,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    unregister_scenario,
+)
 
 __all__ = [
     "SolarTrace",
@@ -47,4 +57,9 @@ __all__ = [
     "DayStatistics",
     "trace_statistics",
     "calibrate_site",
+    "Scenario",
+    "make_scenario",
+    "register_scenario",
+    "unregister_scenario",
+    "available_scenarios",
 ]

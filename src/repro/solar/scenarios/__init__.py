@@ -1,0 +1,61 @@
+"""Composable, seeded trace-degradation scenarios.
+
+The paper evaluates WCMA on clean single-site traces; real deployments
+face soiling, shading, sensor faults, telemetry gaps, regime shifts and
+clock drift.  This package turns those into first-class, reproducible
+*scenarios*: ordered chains of small
+:class:`~repro.solar.scenarios.transforms.Transform` objects applied to
+a :class:`~repro.solar.trace.SolarTrace` under one seed.
+
+* :mod:`repro.solar.scenarios.transforms` -- the degradation catalogue.
+* :mod:`repro.solar.scenarios.scenario` -- the :class:`Scenario`
+  container, ``Scenario.compose`` and the determinism semantics.
+* :mod:`repro.solar.scenarios.registry` -- string registry mirroring
+  :mod:`repro.core.registry`, with a dozen built-in scenarios.
+
+See README.md in this directory for the transform catalogue and the
+composition/determinism contract; the robustness experiment matrix
+(:mod:`repro.experiments.robustness`) and the ``repro-solar
+robustness`` CLI subcommand are the main consumers.
+"""
+
+from repro.solar.scenarios.scenario import DEFAULT_SCENARIO_SEED, Scenario
+from repro.solar.scenarios.transforms import (
+    GAP_POLICIES,
+    CloudRegimeShift,
+    MissingGaps,
+    PartialShading,
+    SensorDropout,
+    SoilingRamp,
+    StuckAtFault,
+    TimestampJitter,
+    Transform,
+    TransformContext,
+)
+from repro.solar.scenarios.registry import (
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    scenario_descriptions,
+    unregister_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "DEFAULT_SCENARIO_SEED",
+    "Transform",
+    "TransformContext",
+    "SoilingRamp",
+    "PartialShading",
+    "SensorDropout",
+    "StuckAtFault",
+    "MissingGaps",
+    "CloudRegimeShift",
+    "TimestampJitter",
+    "GAP_POLICIES",
+    "register_scenario",
+    "unregister_scenario",
+    "make_scenario",
+    "available_scenarios",
+    "scenario_descriptions",
+]

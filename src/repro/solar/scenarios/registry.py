@@ -1,0 +1,269 @@
+"""Scenario factory registry (mirrors :mod:`repro.core.registry`).
+
+Maps short names to scenario factories so the robustness experiment,
+the CLI and the fleet harness can select degradations by string.
+Registered defaults:
+
+=================== ===================================================
+``clean``           identity -- no degradation (the baseline row)
+``soiling``         monotone panel soiling/aging ramp
+``soiling-washout`` soiling with periodic rain wash (sawtooth)
+``shading``         fixed morning partial-shading window
+``dropout``         sensor dropout windows reading zero
+``stuck``           stuck-at sensor faults holding the onset value
+``gaps-hold``       missing telemetry, last-value imputation
+``gaps-interp``     missing telemetry, linear-interpolation imputation
+``gaps-zero``       missing telemetry, zero imputation
+``regime-shift``    mid-trace shift to a gloomy cloud regime
+``jitter``          per-day timestamp (clock-drift) jitter
+``harsh-field``     soiling + shading + dropout + jitter composite
+=================== ===================================================
+
+Factories take ``factory(seed=..., **kwargs)`` and return a
+:class:`~repro.solar.scenarios.scenario.Scenario`.  Third-party
+scenarios can be added with :func:`register_scenario` (pass
+``overwrite=True`` to replace) and removed with
+:func:`unregister_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.solar.scenarios.scenario import DEFAULT_SCENARIO_SEED, Scenario
+from repro.solar.scenarios.transforms import (
+    CloudRegimeShift,
+    MissingGaps,
+    PartialShading,
+    SensorDropout,
+    SoilingRamp,
+    StuckAtFault,
+    TimestampJitter,
+)
+
+__all__ = [
+    "register_scenario",
+    "unregister_scenario",
+    "make_scenario",
+    "available_scenarios",
+    "scenario_descriptions",
+]
+
+_FACTORIES: Dict[str, Callable[..., Scenario]] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_scenario(
+    name: str,
+    factory: Callable[..., Scenario],
+    description: str = "",
+    overwrite: bool = False,
+) -> None:
+    """Register ``factory`` under ``name`` (lower-cased).
+
+    Parameters
+    ----------
+    name:
+        Registry key; matching is case-insensitive.
+    factory:
+        ``factory(seed=..., **kwargs)`` returning a :class:`Scenario`.
+    description:
+        One-line catalogue entry shown by ``repro-solar list``.
+    overwrite:
+        Replace an existing registration instead of raising.
+    """
+    key = name.lower()
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _FACTORIES[key] = factory
+    _DESCRIPTIONS[key] = description
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"scenario {name!r} is not registered")
+    del _FACTORIES[key]
+    _DESCRIPTIONS.pop(key, None)
+
+
+def make_scenario(
+    name: str, seed: Optional[int] = None, **kwargs
+) -> Scenario:
+    """Instantiate a registered scenario.
+
+    ``seed`` defaults to :data:`~repro.solar.scenarios.scenario.DEFAULT_SCENARIO_SEED`;
+    other keyword arguments pass through to the factory.
+    """
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(available_scenarios())}"
+        )
+    if seed is None:
+        seed = DEFAULT_SCENARIO_SEED
+    return factory(seed=seed, **kwargs)
+
+
+def available_scenarios() -> tuple:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """Name -> one-line description of every registered scenario."""
+    return {name: _DESCRIPTIONS.get(name, "") for name in available_scenarios()}
+
+
+# ----------------------------------------------------------------------
+# Default catalogue
+# ----------------------------------------------------------------------
+def _clean(seed: int) -> Scenario:
+    return Scenario(name="clean", transforms=(), seed=seed)
+
+
+def _soiling(seed: int, rate_per_day: float = 0.002, floor: float = 0.5) -> Scenario:
+    return Scenario(
+        name="soiling",
+        transforms=(SoilingRamp(rate_per_day=rate_per_day, floor=floor),),
+        seed=seed,
+    )
+
+
+def _soiling_washout(
+    seed: int, rate_per_day: float = 0.004, wash_interval_days: int = 45
+) -> Scenario:
+    return Scenario(
+        name="soiling-washout",
+        transforms=(
+            SoilingRamp(
+                rate_per_day=rate_per_day,
+                floor=0.5,
+                wash_interval_days=wash_interval_days,
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def _shading(
+    seed: int,
+    start_hour: float = 7.0,
+    end_hour: float = 9.5,
+    attenuation: float = 0.6,
+) -> Scenario:
+    return Scenario(
+        name="shading",
+        transforms=(
+            PartialShading(
+                start_hour=start_hour, end_hour=end_hour, attenuation=attenuation
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def _dropout(seed: int, rate_per_day: float = 0.5) -> Scenario:
+    return Scenario(
+        name="dropout",
+        transforms=(SensorDropout(rate_per_day=rate_per_day),),
+        seed=seed,
+    )
+
+
+def _stuck(seed: int, rate_per_day: float = 0.3) -> Scenario:
+    return Scenario(
+        name="stuck",
+        transforms=(StuckAtFault(rate_per_day=rate_per_day),),
+        seed=seed,
+    )
+
+
+def _gaps(policy: str):
+    def factory(seed: int, rate_per_day: float = 0.4) -> Scenario:
+        return Scenario(
+            name=f"gaps-{policy}",
+            transforms=(MissingGaps(rate_per_day=rate_per_day, policy=policy),),
+            seed=seed,
+        )
+
+    return factory
+
+
+def _regime_shift(seed: int, onset_fraction: float = 0.5) -> Scenario:
+    # The onset is expressed as a fraction of the trace so the same
+    # scenario name works at any n_days; resolved lazily per trace.
+    return Scenario(
+        name="regime-shift",
+        transforms=(_FractionalRegimeShift(onset_fraction=onset_fraction),),
+        seed=seed,
+    )
+
+
+def _jitter(seed: int, max_shift_minutes: float = 15.0) -> Scenario:
+    return Scenario(
+        name="jitter",
+        transforms=(TimestampJitter(max_shift_minutes=max_shift_minutes),),
+        seed=seed,
+    )
+
+
+def _harsh_field(seed: int) -> Scenario:
+    return Scenario(
+        name="harsh-field",
+        transforms=(
+            SoilingRamp(rate_per_day=0.002, floor=0.6),
+            PartialShading(start_hour=7.0, end_hour=9.0, attenuation=0.5),
+            SensorDropout(rate_per_day=0.3),
+            TimestampJitter(max_shift_minutes=10.0),
+        ),
+        seed=seed,
+    )
+
+
+class _FractionalRegimeShift(CloudRegimeShift):
+    """Regime shift whose onset scales with the trace length."""
+
+    def __init__(self, onset_fraction: float = 0.5):
+        if not 0.0 <= onset_fraction < 1.0:
+            raise ValueError("onset_fraction must be in [0, 1)")
+        super().__init__(onset_day=0)
+        object.__setattr__(self, "onset_fraction", onset_fraction)
+
+    def _transform(self, values, ctx):
+        onset = int(self.onset_fraction * ctx.n_days)
+        shifted = CloudRegimeShift(
+            onset_day=onset,
+            day_type_model=self.day_type_model,
+            cloud_params=self.cloud_params,
+        )
+        return shifted._transform(values, ctx)
+
+
+register_scenario("clean", _clean, "identity -- no degradation")
+register_scenario("soiling", _soiling, "monotone panel soiling/aging ramp")
+register_scenario(
+    "soiling-washout", _soiling_washout, "soiling with periodic rain wash"
+)
+register_scenario("shading", _shading, "fixed morning partial-shading window")
+register_scenario("dropout", _dropout, "sensor dropout windows reading zero")
+register_scenario("stuck", _stuck, "stuck-at faults holding the onset value")
+register_scenario("gaps-hold", _gaps("hold"), "telemetry gaps, hold imputation")
+register_scenario(
+    "gaps-interp", _gaps("interp"), "telemetry gaps, interpolation imputation"
+)
+register_scenario("gaps-zero", _gaps("zero"), "telemetry gaps, zero imputation")
+register_scenario(
+    "regime-shift", _regime_shift, "mid-trace shift to a gloomy cloud regime"
+)
+register_scenario("jitter", _jitter, "per-day clock-drift timestamp jitter")
+register_scenario(
+    "harsh-field", _harsh_field, "soiling + shading + dropout + jitter composite"
+)

@@ -1,0 +1,159 @@
+"""The :class:`Scenario` container: a seeded chain of trace transforms.
+
+A scenario is an ordered tuple of
+:class:`~repro.solar.scenarios.transforms.Transform` instances plus a
+seed.  :meth:`Scenario.apply` runs the chain over a
+:class:`~repro.solar.trace.SolarTrace` and returns a new trace.
+
+Determinism and composition semantics
+-------------------------------------
+The seed feeds one :class:`numpy.random.SeedSequence`, which spawns one
+child generator per transform *in chain order*.  Consequences:
+
+* the same ``(seed, transforms)`` pair is byte-identical across runs,
+  processes and platforms (numpy's Philox/PCG streams are portable);
+* transform *i*'s randomness depends only on the seed and its position,
+  never on how many draws an earlier transform consumed -- inserting a
+  transform shifts the streams of those after it, but editing one
+  transform's parameters never perturbs its neighbours' noise;
+* composition is ordered function application: ``compose([a, b])``
+  applies ``a`` first, then ``b`` to ``a``'s output.  Degradations do
+  not generally commute (soiling then shading ≠ shading then soiling on
+  the attenuated window), and the engine preserves whatever order the
+  scenario author chose.
+
+The empty scenario is the identity: ``apply`` returns the input trace
+object itself, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.solar.scenarios.transforms import Transform, TransformContext
+from repro.solar.trace import SolarTrace
+
+__all__ = ["Scenario", "DEFAULT_SCENARIO_SEED"]
+
+#: Seed used when a scenario is built without an explicit one.
+DEFAULT_SCENARIO_SEED = 20100308  # DATE 2010, Dresden: March 8 2010
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded, ordered chain of trace degradations.
+
+    Attributes
+    ----------
+    name:
+        Short label; appears in trace names, report rows and the
+        scenario registry.
+    transforms:
+        The degradation chain, applied first-to-last.
+    seed:
+        Root of every transform's random stream (see module docstring).
+    """
+
+    name: str
+    transforms: Tuple[Transform, ...] = ()
+    seed: int = DEFAULT_SCENARIO_SEED
+
+    def __post_init__(self):
+        transforms = tuple(self.transforms)
+        for i, transform in enumerate(transforms):
+            if not isinstance(transform, Transform):
+                raise TypeError(
+                    f"transforms[{i}] must be a Transform, "
+                    f"got {type(transform).__name__}"
+                )
+        object.__setattr__(self, "transforms", transforms)
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the empty (clean) scenario."""
+        return not self.transforms
+
+    def apply(self, trace: SolarTrace) -> SolarTrace:
+        """Run the chain over ``trace``; returns a new trace.
+
+        The empty scenario returns ``trace`` itself.  Otherwise the
+        result is a fresh :class:`~repro.solar.trace.SolarTrace` with
+        the same resolution and day count, named
+        ``"<trace.name>+<scenario.name>"``.
+        """
+        if self.is_identity:
+            return trace
+        values = trace.values
+        streams = np.random.SeedSequence(self.seed).spawn(len(self.transforms))
+        for transform, stream in zip(self.transforms, streams):
+            ctx = TransformContext(
+                resolution_minutes=trace.resolution_minutes,
+                samples_per_day=trace.samples_per_day,
+                n_days=trace.n_days,
+                rng=np.random.default_rng(stream),
+            )
+            values = transform(values, ctx)
+        name = f"{trace.name}+{self.name}" if trace.name else self.name
+        return SolarTrace(
+            values=values,
+            resolution_minutes=trace.resolution_minutes,
+            name=name,
+        )
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The same chain under a different seed."""
+        return Scenario(name=self.name, transforms=self.transforms, seed=seed)
+
+    @classmethod
+    def compose(
+        cls,
+        parts: Sequence[Union["Scenario", Transform]],
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> "Scenario":
+        """Concatenate scenarios and/or bare transforms, in order.
+
+        ``parts`` may mix :class:`Scenario` instances (their chains are
+        inlined) and bare :class:`Transform` instances.  The composed
+        scenario is re-seeded as one chain: ``seed`` when given, else
+        the first composed scenario's seed, else the default -- the
+        child streams are then spawned over the *composed* chain, so a
+        composite is itself a first-class deterministic scenario rather
+        than a replay of its parts' private streams.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("compose needs at least one scenario or transform")
+        transforms: list = []
+        names: list = []
+        inherited_seed = None
+        for i, part in enumerate(parts):
+            if isinstance(part, Scenario):
+                transforms.extend(part.transforms)
+                names.append(part.name)
+                if inherited_seed is None:
+                    inherited_seed = part.seed
+            elif isinstance(part, Transform):
+                transforms.append(part)
+                names.append(type(part).__name__.lower())
+            else:
+                raise TypeError(
+                    f"parts[{i}] must be a Scenario or Transform, "
+                    f"got {type(part).__name__}"
+                )
+        if seed is None:
+            seed = inherited_seed if inherited_seed is not None else DEFAULT_SCENARIO_SEED
+        return cls(
+            name=name or "+".join(names),
+            transforms=tuple(transforms),
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(type(t).__name__ for t in self.transforms) or "identity"
+        return f"Scenario({self.name!r}, seed={self.seed}, {chain})"

@@ -1,0 +1,267 @@
+"""Unit tests for the scenario engine (transforms, Scenario, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.solar.scenarios import (
+    CloudRegimeShift,
+    MissingGaps,
+    PartialShading,
+    Scenario,
+    SensorDropout,
+    SoilingRamp,
+    StuckAtFault,
+    TimestampJitter,
+    Transform,
+    TransformContext,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    scenario_descriptions,
+    unregister_scenario,
+)
+from repro.solar.trace import SolarTrace
+
+
+def _ctx(trace, seed=0):
+    return TransformContext(
+        resolution_minutes=trace.resolution_minutes,
+        samples_per_day=trace.samples_per_day,
+        n_days=trace.n_days,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestTransforms:
+    def test_soiling_monotone_attenuation(self, repeating_day_trace):
+        out = SoilingRamp(rate_per_day=0.01, floor=0.5)(
+            repeating_day_trace.values, _ctx(repeating_day_trace)
+        )
+        days = out.reshape(30, -1).sum(axis=1)
+        base = repeating_day_trace.as_days().sum(axis=1)
+        ratio = days / base
+        assert np.all(np.diff(ratio) <= 1e-12)
+        assert ratio[0] == pytest.approx(1.0)
+        assert ratio[-1] == pytest.approx(1.0 - 0.01 * 29)
+
+    def test_soiling_washout_resets(self, repeating_day_trace):
+        out = SoilingRamp(rate_per_day=0.01, wash_interval_days=10)(
+            repeating_day_trace.values, _ctx(repeating_day_trace)
+        )
+        ratio = out.reshape(30, -1).sum(axis=1) / repeating_day_trace.daily_energy() * (
+            repeating_day_trace.resolution_minutes / 60.0
+        )
+        # Day 10 and day 20 are washes: back to full harvest.
+        assert ratio[10] == pytest.approx(ratio[0])
+        assert ratio[20] == pytest.approx(ratio[0])
+        assert ratio[9] < ratio[0]
+
+    def test_shading_window_only(self, repeating_day_trace):
+        shading = PartialShading(start_hour=10.0, end_hour=12.0, attenuation=0.5)
+        out = shading(repeating_day_trace.values, _ctx(repeating_day_trace))
+        day_in = repeating_day_trace.day(0)
+        day_out = out.reshape(30, -1)[0]
+        spd = repeating_day_trace.samples_per_day
+        window = slice(int(10.0 / 24 * spd), int(12.0 / 24 * spd))
+        np.testing.assert_allclose(day_out[window], 0.5 * day_in[window])
+        outside = np.ones(spd, dtype=bool)
+        outside[window] = False
+        np.testing.assert_array_equal(day_out[outside], day_in[outside])
+
+    def test_shading_seasonal_day_range(self, repeating_day_trace):
+        shading = PartialShading(
+            start_hour=10.0, end_hour=12.0, attenuation=0.5, days=(5, 10)
+        )
+        out = shading(repeating_day_trace.values, _ctx(repeating_day_trace))
+        shaped = out.reshape(30, -1)
+        np.testing.assert_array_equal(shaped[0], repeating_day_trace.day(0))
+        assert shaped[7].sum() < repeating_day_trace.day(7).sum()
+        np.testing.assert_array_equal(shaped[12], repeating_day_trace.day(12))
+
+    def test_dropout_zeroes_windows(self, repeating_day_trace):
+        dropout = SensorDropout(rate_per_day=3.0, mean_duration_minutes=120.0)
+        out = dropout(repeating_day_trace.values, _ctx(repeating_day_trace, seed=5))
+        assert (out == 0).sum() > (repeating_day_trace.values == 0).sum()
+        changed = out != repeating_day_trace.values
+        assert (out[changed] == 0).all()
+
+    def test_stuck_holds_onset_value(self, repeating_day_trace):
+        stuck = StuckAtFault(rate_per_day=5.0, mean_duration_minutes=180.0)
+        out = stuck(repeating_day_trace.values, _ctx(repeating_day_trace, seed=9))
+        changed = np.flatnonzero(out != repeating_day_trace.values)
+        assert changed.size > 0
+        # Every changed daylight sample equals some original sample value
+        # (the held onset), never an interpolated invention.
+        originals = set(np.round(repeating_day_trace.values, 9))
+        assert set(np.round(out[changed], 9)) <= originals
+
+    @pytest.mark.parametrize("policy", ["zero", "hold", "interp"])
+    def test_gap_policies(self, repeating_day_trace, policy):
+        gaps = MissingGaps(
+            rate_per_day=3.0, mean_duration_minutes=120.0, policy=policy
+        )
+        out = gaps(repeating_day_trace.values, _ctx(repeating_day_trace, seed=3))
+        assert out.shape == repeating_day_trace.values.shape
+        assert (out >= 0).all()
+        if policy == "zero":
+            changed = out != repeating_day_trace.values
+            assert (out[changed] == 0).all()
+        else:
+            # Imputed values stay within the trace's physical range.
+            assert out.max() <= repeating_day_trace.values.max() + 1e-9
+
+    def test_gap_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown gap policy"):
+            MissingGaps(policy="magic")
+
+    def test_regime_shift_darkens_after_onset(self, repeating_day_trace):
+        shift = CloudRegimeShift(onset_day=15)
+        out = shift(repeating_day_trace.values, _ctx(repeating_day_trace, seed=2))
+        shaped = out.reshape(30, -1)
+        before = shaped[:15].sum()
+        np.testing.assert_array_equal(
+            shaped[:15], repeating_day_trace.as_days()[:15]
+        )
+        assert shaped[15:].sum() < repeating_day_trace.as_days()[15:].sum()
+        assert before == repeating_day_trace.as_days()[:15].sum()
+
+    def test_regime_shift_beyond_trace_is_noop(self, repeating_day_trace):
+        shift = CloudRegimeShift(onset_day=100)
+        out = shift(repeating_day_trace.values, _ctx(repeating_day_trace, seed=2))
+        np.testing.assert_array_equal(out, repeating_day_trace.values)
+
+    def test_jitter_preserves_daylight_energy_approximately(
+        self, repeating_day_trace
+    ):
+        jitter = TimestampJitter(max_shift_minutes=30.0)
+        out = jitter(repeating_day_trace.values, _ctx(repeating_day_trace, seed=4))
+        assert not np.array_equal(out, repeating_day_trace.values)
+        # Rolls move samples within a day; total energy can only shrink
+        # (night clamping), never grow.
+        assert out.sum() <= repeating_day_trace.values.sum() + 1e-9
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SoilingRamp(rate_per_day=1.5)
+        with pytest.raises(ValueError):
+            PartialShading(start_hour=10.0, end_hour=9.0)
+        with pytest.raises(ValueError):
+            SensorDropout(mean_duration_minutes=0.0)
+        with pytest.raises(ValueError):
+            StuckAtFault(rate_per_day=-1.0)
+        with pytest.raises(ValueError):
+            CloudRegimeShift(onset_day=-1)
+        with pytest.raises(ValueError):
+            TimestampJitter(max_shift_minutes=-5.0)
+
+    def test_transform_cannot_change_sample_count(self, repeating_day_trace):
+        class Broken(Transform):
+            def _transform(self, values, ctx):
+                return values[:-1]
+
+        with pytest.raises(ValueError, match="sample count"):
+            Broken()(repeating_day_trace.values, _ctx(repeating_day_trace))
+
+
+class TestScenario:
+    def test_empty_scenario_is_identity_object(self, hsu_trace):
+        assert Scenario(name="clean").apply(hsu_trace) is hsu_trace
+
+    def test_apply_names_and_geometry(self, hsu_trace):
+        scenario = make_scenario("soiling")
+        out = scenario.apply(hsu_trace)
+        assert out.name == "HSU+soiling"
+        assert out.n_days == hsu_trace.n_days
+        assert out.resolution_minutes == hsu_trace.resolution_minutes
+
+    def test_with_seed(self, hsu_trace):
+        a = make_scenario("dropout", seed=1)
+        b = a.with_seed(2)
+        assert b.seed == 2 and b.transforms == a.transforms
+        assert not np.array_equal(a.apply(hsu_trace).values, b.apply(hsu_trace).values)
+
+    def test_compose_flattens_in_order(self):
+        soiling = make_scenario("soiling", seed=3)
+        shading = make_scenario("shading", seed=9)
+        combined = Scenario.compose([soiling, shading])
+        assert [type(t).__name__ for t in combined.transforms] == [
+            "SoilingRamp",
+            "PartialShading",
+        ]
+        assert combined.seed == 3  # first composed scenario's seed
+        assert combined.name == "soiling+shading"
+
+    def test_compose_accepts_bare_transforms(self, hsu_trace):
+        combined = Scenario.compose(
+            [SoilingRamp(rate_per_day=0.01), PartialShading()], name="combo", seed=7
+        )
+        out = combined.apply(hsu_trace)
+        assert out.name == "HSU+combo"
+
+    def test_compose_rejects_junk(self):
+        with pytest.raises(TypeError):
+            Scenario.compose([42])
+        with pytest.raises(ValueError):
+            Scenario.compose([])
+
+    def test_transforms_type_checked(self):
+        with pytest.raises(TypeError):
+            Scenario(name="x", transforms=("not-a-transform",))
+
+    def test_repr_mentions_chain(self):
+        scenario = make_scenario("harsh-field")
+        assert "SoilingRamp" in repr(scenario)
+        assert "harsh-field" in repr(scenario)
+
+
+class TestRegistry:
+    def test_catalogue_size_and_clean(self):
+        names = available_scenarios()
+        assert "clean" in names
+        assert len(names) >= 10
+
+    def test_descriptions_cover_catalogue(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) == set(available_scenarios())
+        assert all(descriptions[n] for n in ("clean", "soiling", "regime-shift"))
+
+    def test_make_scenario_unknown(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            make_scenario("definitely-not-registered")
+
+    def test_register_unregister_roundtrip(self):
+        register_scenario(
+            "test-temp", lambda seed: Scenario(name="test-temp", seed=seed)
+        )
+        try:
+            assert "test-temp" in available_scenarios()
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(
+                    "test-temp", lambda seed: Scenario(name="t", seed=seed)
+                )
+            register_scenario(
+                "test-temp",
+                lambda seed: Scenario(name="test-temp2", seed=seed),
+                overwrite=True,
+            )
+            assert make_scenario("test-temp").name == "test-temp2"
+        finally:
+            unregister_scenario("test-temp")
+        assert "test-temp" not in available_scenarios()
+        with pytest.raises(KeyError):
+            unregister_scenario("test-temp")
+
+    def test_factory_kwargs_pass_through(self, hsu_trace):
+        heavy = make_scenario("soiling", rate_per_day=0.02)
+        light = make_scenario("soiling", rate_per_day=0.0005)
+        assert (
+            heavy.apply(hsu_trace).values.sum()
+            < light.apply(hsu_trace).values.sum()
+        )
+
+    def test_every_builtin_scenario_applies(self, spmd_trace):
+        """Every catalogue entry works on a 5-minute site too."""
+        for name in available_scenarios():
+            out = make_scenario(name, seed=11).apply(spmd_trace)
+            assert out.n_days == spmd_trace.n_days
+            assert (out.values >= 0).all()

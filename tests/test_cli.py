@@ -26,6 +26,82 @@ class TestParser:
         args = build_parser().parse_args(["run", "table1"])
         assert args.jobs is None
 
+    @pytest.mark.parametrize("value", ["0", "-2", "x"])
+    def test_rejects_non_positive_jobs(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run-all", "--jobs", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "Traceback" not in err
+
+    def test_robustness_rejects_non_positive_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--jobs", "0"])
+
+    def test_robustness_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["robustness", "--scenarios", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_fleet_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--scenarios", "nope"])
+
+
+class TestValueErrorsExitCleanly:
+    """Library ValueErrors surface as one 'error:' line, status 2."""
+
+    def test_unknown_site(self, capsys):
+        code = main(["run", "table1", "--days", "30", "--sites", "NOPE"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown sites" in err
+
+    def test_unknown_predictor(self, capsys):
+        code = main(
+            ["summarize", "--site", "PFCI", "--days", "30", "--predictor", "nope"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown predictor" in err
+
+    def test_unknown_robustness_predictor(self, capsys):
+        code = main(
+            ["robustness", "--days", "30", "--sites", "PFCI",
+             "--predictors", "nope"]
+        )
+        assert code == 2
+        assert "unknown predictors" in capsys.readouterr().err
+
+    def test_bad_n_for_site(self, capsys):
+        code = main(["compare", "--site", "PFCI", "--days", "30", "--n", "7"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not divide" in err
+
+    def test_bad_n_for_robustness_defaults(self, capsys):
+        code = main(["robustness", "--days", "30", "--n", "7"])
+        assert code == 2
+        assert "does not divide" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run-all", "--days", "0"],
+            ["fleet", "--nodes", "0"],
+            ["compare", "--site", "PFCI", "--n", "-3"],
+            ["export-trace", "SPMD", "--days", "-1", "--out", "x.csv"],
+            ["robustness", "--seed", "-1"],
+            ["fleet", "--scenarios", "dropout", "--scenario-seed", "-1"],
+            ["export-trace", "SPMD", "--seed", "-1", "--out", "x.csv"],
+        ],
+    )
+    def test_non_positive_sizes_rejected_by_parser(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -130,3 +206,58 @@ class TestFleetCommand:
     def test_fleet_rejects_unknown_controller(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--controllers", "nope"])
+
+    def test_fleet_with_scenarios(self, capsys):
+        code = main(
+            [
+                "fleet",
+                "--nodes", "4",
+                "--sites", "SPMD",
+                "--days", "8",
+                "--predictors", "wcma",
+                "--scenarios", "clean", "dropout",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FLEET: fleet simulation: 4 nodes" in out
+
+
+class TestRobustnessCommand:
+    def test_matrix_and_summary(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--days", "30",
+                "--sites", "PFCI",
+                "--scenarios", "dropout", "jitter",
+                "--no-tune",
+                "--fleet-days", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ROBUSTNESS: scenario robustness matrix" in out
+        assert "dropout" in out and "jitter" in out and "clean" in out
+        assert "most harmful:" in out
+        assert "ROBUSTNESS-FLEET: fleet robustness" in out
+
+    def test_no_fleet_skips_fleet_table(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--days", "30",
+                "--sites", "PFCI",
+                "--scenarios", "jitter",
+                "--no-tune",
+                "--no-fleet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ROBUSTNESS-FLEET" not in out
+
+    def test_list_shows_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out and "regime-shift" in out

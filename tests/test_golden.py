@@ -1,0 +1,134 @@
+"""Golden-suite regression harness.
+
+Pins today's experiment outputs byte-for-byte so future scale and
+refactoring work can change internals fearlessly: any drift in the
+rendered ``run_all(365)`` report, the per-experiment row digests, or
+the robustness matrix fails tier-1 immediately and names the
+experiment that moved.
+
+Refreshing after an *intentional* output change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+which rewrites every snapshot under ``tests/golden/`` from the current
+outputs (the tests then pass against the fresh files in the same run).
+
+Digests are sha256 over a canonical JSON serialisation of each
+:class:`~repro.experiments.common.ExperimentResult` (experiment id,
+title, headers, rows, notes) with floats rounded to 12 significant
+digits -- stricter than the rendered text (4 significant digits) while
+still absorbing the one-ulp reduction-order differences between SIMD
+widths, so the pin survives a change of machine.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.robustness import run as run_robustness
+from repro.experiments.runner import EXPERIMENTS, render_report, run_all
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Robustness golden configuration: two sites of different native
+#: resolution, the full default scenario set, tuning on.  45 days keeps
+#: it fast while exceeding 2 * max(D), so the full grid search runs.
+ROBUSTNESS_KWARGS = dict(n_days=45, sites=("PFCI", "HSU"), seed=20100308)
+
+_UPDATE_HINT = (
+    "golden mismatch -- if the output change is intentional, refresh with: "
+    "PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden"
+)
+
+
+def _canonical(value):
+    """Round floats to 12 significant digits, recursively.
+
+    Keeps the digest sensitive to any real numeric drift (1e-12
+    relative) while ignoring hardware-dependent last-ulp differences in
+    numpy reduction order.
+    """
+    if isinstance(value, float):
+        return float(f"{value:.12g}")
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def _digest(result) -> str:
+    """sha256 of the canonical JSON form of one ExperimentResult."""
+    canonical = json.dumps(
+        _canonical(
+            {
+                "experiment": result.experiment,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "notes": result.notes,
+            }
+        ),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _check_text(request, path: Path, content: str) -> None:
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    assert path.exists(), f"missing golden file {path}; {_UPDATE_HINT}"
+    assert content == path.read_text(), f"{path.name}: {_UPDATE_HINT}"
+
+
+@pytest.fixture(scope="module")
+def full_results():
+    """The complete paper reproduction at full fidelity (one run)."""
+    return run_all(n_days=365)
+
+
+@pytest.fixture(scope="module")
+def robustness_result():
+    return run_robustness(**ROBUSTNESS_KWARGS)
+
+
+class TestRunAllGolden:
+    def test_report_matches_golden(self, request, full_results):
+        _check_text(
+            request,
+            GOLDEN_DIR / "report_365.txt",
+            render_report(full_results) + "\n",
+        )
+
+    def test_per_experiment_digests(self, request, full_results):
+        digests = {name: _digest(full_results[name]) for name in EXPERIMENTS}
+        path = GOLDEN_DIR / "digests.json"
+        if request.config.getoption("--update-golden"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+        assert path.exists(), f"missing golden file {path}; {_UPDATE_HINT}"
+        golden = json.loads(path.read_text())
+        assert set(golden) == set(digests), _UPDATE_HINT
+        moved = [name for name in EXPERIMENTS if golden[name] != digests[name]]
+        assert not moved, f"experiments drifted: {moved}; {_UPDATE_HINT}"
+
+    def test_every_experiment_present(self, full_results):
+        assert set(full_results) == set(EXPERIMENTS)
+
+
+class TestRobustnessGolden:
+    def test_matrix_matches_golden(self, request, robustness_result):
+        _check_text(
+            request,
+            GOLDEN_DIR / "robustness_45d.txt",
+            robustness_result.render() + "\n",
+        )
+
+    def test_matrix_digest(self, request, robustness_result):
+        path = GOLDEN_DIR / "robustness_45d.sha256"
+        digest = _digest(robustness_result) + "\n"
+        _check_text(request, path, digest)
