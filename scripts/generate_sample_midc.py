@@ -1,0 +1,135 @@
+"""Generate the bundled sample measurement CSV (one-time, deterministic).
+
+Produces ``src/repro/solar/ingest/data/sample_midc.csv``: 28 days of
+the SPMD synthetic trace written in raw NREL-MIDC shape (date column,
+MST time column, GHI channel plus a decoy temperature channel) with a
+deterministic set of injected defects, so the ingestion pipeline and CI
+can exercise a "real" download -- quality flags, resampling, replay
+round trip -- without network access:
+
+* night thermal-offset negatives (exercises clipping);
+* spike faults above the plausibility ceiling on four days;
+* stuck-at runs (an identical-value plateau) on four days;
+* dropout runs (midday zeros) on four days;
+* missing telemetry on four days, in all three wild forms: empty value
+  cells, ``-99999`` sentinels, and entirely absent rows.
+
+Every defect is placed by fixed arithmetic (no RNG beyond the synthetic
+generator's own seeded weather), so re-running this script reproduces
+the checked-in file byte-for-byte.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_sample_midc.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from datetime import date, timedelta
+from pathlib import Path
+
+from repro.solar.datasets import build_dataset
+
+N_DAYS = 28
+START = date(2010, 3, 1)
+
+#: (day, slot) single-sample spikes and their amplitudes (> 1500 W/m^2).
+SPIKES = [
+    (3, 130, 1650.0),
+    (3, 141, 1712.0),
+    (9, 135, 1820.0),
+    (15, 128, 1685.0),
+    (15, 150, 1930.0),
+    (21, 138, 1760.0),
+]
+
+#: (day, start-slot, length) identical-value plateaus (>= 30 min).
+STUCK = [(4, 126, 8), (11, 132, 10), (18, 140, 12), (25, 150, 6)]
+
+#: (day, start-slot, length) midday zero runs (>= 20 min).
+DROPOUTS = [(5, 128, 5), (12, 136, 6), (19, 144, 8), (26, 152, 4)]
+
+#: (day, start-slot, length, style) missing telemetry windows.
+MISSING = [
+    (6, 130, 6, "empty"),
+    (13, 138, 10, "sentinel"),
+    (20, 146, 8, "absent"),
+    (24, 125, 5, "empty"),
+]
+
+
+def build_rows():
+    trace = build_dataset("SPMD", n_days=N_DAYS)
+    spd = trace.samples_per_day
+    values = trace.as_days().copy()
+
+    for day, slot, amplitude in SPIKES:
+        values[day, slot] = amplitude
+    for day, start, length in STUCK:
+        values[day, start : start + length] = values[day, start]
+    for day, start, length in DROPOUTS:
+        values[day, start : start + length] = 0.0
+    # Night thermal offset: the first three samples of every day read
+    # slightly negative, as real pyranometers do.
+    values[:, 0] = -1.8
+    values[:, 1] = -1.6
+    values[:, 2] = -1.2
+
+    cell_override = {}
+    absent = set()
+    for day, start, length, style in MISSING:
+        for slot in range(start, start + length):
+            if style == "absent":
+                absent.add((day, slot))
+            elif style == "sentinel":
+                cell_override[(day, slot)] = "-99999"
+            else:
+                cell_override[(day, slot)] = ""
+
+    rows = []
+    for day in range(N_DAYS):
+        stamp = START + timedelta(days=day)
+        for slot in range(spd):
+            if (day, slot) in absent:
+                continue
+            minute = slot * trace.resolution_minutes
+            ghi = cell_override.get(
+                (day, slot), f"{values[day, slot]:.1f}"
+            )
+            # Decoy channel: a smooth diurnal temperature curve.
+            temperature = (
+                10.0
+                + 8.0 * math.sin(2.0 * math.pi * slot / spd - math.pi / 2.0)
+                + 0.1 * day
+            )
+            rows.append(
+                f"{stamp.strftime('%m/%d/%Y')},"
+                f"{minute // 60:02d}:{minute % 60:02d},"
+                f"{ghi},{temperature:.1f}"
+            )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parents[1]
+            / "src/repro/solar/ingest/data/sample_midc.csv"
+        ),
+    )
+    args = parser.parse_args()
+    header = "DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]"
+    rows = build_rows()
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join([header] + rows) + "\n")
+    print(f"wrote {len(rows)} rows to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

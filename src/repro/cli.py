@@ -18,6 +18,14 @@ Export a synthetic trace for external tooling::
 Score every predictor against degraded traces (scenario engine)::
 
     repro-solar robustness --days 120 --scenarios clean dropout regime-shift --jobs 4
+
+Ingest a raw measured NREL-MIDC-shaped CSV (quality flags + cleaning)::
+
+    repro-solar ingest midc_download.csv --resolution 5 --out clean.csv
+
+Run the robustness matrix over a measured trace::
+
+    repro-solar robustness --trace midc_download.csv --scenarios dropout
 """
 
 from __future__ import annotations
@@ -86,6 +94,30 @@ def build_parser() -> argparse.ArgumentParser:
     export_p.add_argument("--days", type=_positive_int, default=365)
     export_p.add_argument("--seed", type=_non_negative_int, default=None)
     export_p.add_argument("--out", required=True, help="output CSV path")
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="ingest a raw measured (NREL-MIDC-shaped) CSV: quality report + cleaning",
+    )
+    ingest_p.add_argument("csv", help="path to the raw measurement CSV")
+    ingest_p.add_argument(
+        "--channel",
+        default=None,
+        help="channel header to ingest (default: the first GLOBAL channel)",
+    )
+    ingest_p.add_argument(
+        "--resolution",
+        type=_positive_int,
+        default=None,
+        metavar="MINUTES",
+        help="resample to this resolution (default: the file's native grid)",
+    )
+    ingest_p.add_argument(
+        "--name", default=None, help="site label (default: from the file name)"
+    )
+    ingest_p.add_argument(
+        "--out", default=None, help="write the cleaned trace as a repro-solar CSV"
+    )
 
     tune_p = sub.add_parser(
         "tune", help="exhaustive (alpha, D, K) sweep on a site or trace CSV"
@@ -228,6 +260,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DAYS",
         help="trace length of the fleet-robustness table (default 30)",
     )
+    rob_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="CSV",
+        help=(
+            "ingest this raw measured CSV and add it to the matrix as a "
+            "site (alone unless --sites adds synthetic ones); also runs "
+            "its replayed-defects scenario as a second matrix"
+        ),
+    )
+    rob_p.add_argument(
+        "--trace-channel",
+        default=None,
+        metavar="NAME",
+        help="channel of the --trace CSV (default: the first GLOBAL channel)",
+    )
+    rob_p.add_argument(
+        "--trace-resolution",
+        type=_positive_int,
+        default=None,
+        metavar="MINUTES",
+        help="resample the --trace CSV to this resolution",
+    )
 
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
     plot_p.add_argument("figure", choices=("fig2", "fig7"))
@@ -315,7 +370,7 @@ def _validate_names(args) -> None:
     """
     from repro.core.registry import available_predictors
     from repro.experiments.common import sites_for
-    from repro.solar.sites import get_site
+    from repro.solar.datasets import samples_per_day_for
 
     sites = getattr(args, "sites", None)
     if sites:
@@ -345,11 +400,23 @@ def _validate_names(args) -> None:
         elif sites:
             check_sites = tuple(s.upper() for s in sites)
         elif getattr(args, "command", None) == "robustness":
-            check_sites = available_datasets()  # defaults to all six
+            if getattr(args, "trace", None) is not None:
+                # A --trace run without --sites contains only the
+                # measured site, whose N check happens after ingestion
+                # in the dispatch; the synthetic six are not involved.
+                check_sites = ()
+            else:
+                # The default run covers exactly the synthetic six
+                # (sites_for(None)); a measured site registered
+                # elsewhere in the process must not veto an N it will
+                # never see.
+                from repro.solar.sites import SITE_ORDER
+
+                check_sites = SITE_ORDER
         else:
             check_sites = ()
         for name in check_sites:
-            spd = get_site(name).samples_per_day
+            spd = samples_per_day_for(name)
             if spd % n_slots:
                 raise ValueError(
                     f"N={n_slots} does not divide samples per day "
@@ -368,6 +435,31 @@ def _dispatch(args) -> int:
         trace = build_dataset(args.site, n_days=args.days, seed=args.seed)
         write_csv(trace, args.out)
         print(f"wrote {trace.n_samples} samples ({trace.n_days} days) to {args.out}")
+        return 0
+
+    if args.command == "ingest":
+        from repro.metrics import format_quality_summary, summarise_quality
+        from repro.solar.ingest import format_ingest_report, ingest_csv
+
+        try:
+            result = ingest_csv(
+                args.csv,
+                channel=args.channel,
+                resolution_minutes=args.resolution,
+                name=args.name,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_ingest_report(result))
+        print()
+        print(format_quality_summary(summarise_quality(result.report)))
+        if args.out:
+            write_csv(result.clean, args.out)
+            print(
+                f"wrote cleaned trace ({result.clean.n_samples} samples, "
+                f"{result.clean.n_days} days) to {args.out}"
+            )
         return 0
 
     if args.command == "tune":
@@ -449,34 +541,94 @@ def _dispatch(args) -> int:
         from repro.experiments.robustness import run_fleet_robustness
         from repro.metrics import format_robustness_summary, summarise_robustness
 
-        result = run_robustness(
-            n_days=args.days,
-            sites=args.sites,
-            scenarios=args.scenarios,
-            predictors=args.predictors,
-            n_slots=args.n,
-            seed=args.seed,
-            jobs=args.jobs,
-            tune_wcma=not args.no_tune,
-        )
-        print(result.render())
-        print()
-        summary_predictor = result.meta["predictors"][0]
-        print(
-            format_robustness_summary(
-                summarise_robustness(result.rows, predictor=summary_predictor)
-            )
-        )
-        if not args.no_fleet:
-            fleet_result = run_fleet_robustness(
-                n_days=args.fleet_days,
-                sites=args.sites,
+        sites = args.sites
+        days = args.days
+        fleet_days = args.fleet_days
+        measured = None
+        if args.trace is not None:
+            from repro.solar.ingest.sites import register_measured_site
+
+            try:
+                measured = register_measured_site(
+                    args.trace,
+                    channel=args.trace_channel,
+                    resolution_minutes=args.trace_resolution,
+                    overwrite=True,
+                )
+                if measured.samples_per_day % args.n:
+                    raise ValueError(
+                        f"N={args.n} does not divide samples per day "
+                        f"({measured.samples_per_day}) of trace "
+                        f"{measured.name}"
+                    )
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            sites = list(args.sites or []) + [measured.name]
+            if days > measured.n_days:
+                print(
+                    f"note: trace {measured.name} has {measured.n_days} "
+                    f"days; running the matrix at {measured.n_days} days",
+                    file=sys.stderr,
+                )
+                days = measured.n_days
+            fleet_days = min(fleet_days, measured.n_days)
+
+        try:
+            result = run_robustness(
+                n_days=days,
+                sites=sites,
                 scenarios=args.scenarios,
+                predictors=args.predictors,
                 n_slots=args.n,
                 seed=args.seed,
+                jobs=args.jobs,
+                tune_wcma=not args.no_tune,
             )
+            print(result.render())
             print()
-            print(fleet_result.render())
+            summary_predictor = result.meta["predictors"][0]
+            print(
+                format_robustness_summary(
+                    summarise_robustness(result.rows, predictor=summary_predictor)
+                )
+            )
+            if not args.no_fleet:
+                fleet_result = run_fleet_robustness(
+                    n_days=fleet_days,
+                    sites=sites,
+                    scenarios=args.scenarios,
+                    n_slots=args.n,
+                    seed=args.seed,
+                )
+                print()
+                print(fleet_result.render())
+            if measured is not None:
+                # The measured trace's own defects as a matrix: the
+                # cleaned trace under its replayed-defects scenario, via
+                # exactly the same code path as the synthetic
+                # degradations.  Full trace length -- the replay masks
+                # are geometry-bound.
+                replay_result = run_robustness(
+                    n_days=measured.n_days,
+                    sites=(measured.name,),
+                    scenarios=("clean", measured.defects_scenario_name),
+                    predictors=args.predictors,
+                    n_slots=args.n,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    tune_wcma=not args.no_tune,
+                )
+                print()
+                print(replay_result.render())
+        finally:
+            if measured is not None:
+                # The registration was a per-invocation side effect;
+                # drop it (even on error) so repeated in-process main()
+                # calls start clean.
+                from repro.solar.ingest.sites import unregister_measured_site
+
+                unregister_measured_site(measured.name)
         return 0
 
     if args.command == "plot":

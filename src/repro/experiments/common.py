@@ -66,9 +66,9 @@ PAPER_N_VALUES = (288, 96, 72, 48, 24)
 #: (the five paper N values plus slack) while keeping memory flat.
 BATCH_CACHE_MAX_ENTRIES = 8
 
-_BATCH_CACHE: "OrderedDict[Tuple[str, int, int], WCMABatch]" = OrderedDict()
+_BATCH_CACHE: "OrderedDict[Tuple[str, int, int, object], WCMABatch]" = OrderedDict()
 
-_TRACE_CACHE: Dict[Tuple[str, int], SolarTrace] = {}
+_TRACE_CACHE: Dict[Tuple[str, int, object], SolarTrace] = {}
 
 
 def trace_for(site: str, n_days: int) -> SolarTrace:
@@ -78,8 +78,15 @@ def trace_for(site: str, n_days: int) -> SolarTrace:
     sampling rate re-slots the already-built trace instead of
     regenerating it.  Unbounded, but a full ``run_all`` only ever holds
     the paper's six sites at one or two trace lengths.
+
+    The key also carries the dataset identity token
+    (:func:`repro.solar.datasets.dataset_token`) so re-registering a
+    measured site name against a different file can never serve the
+    previous file's memoised trace.
     """
-    key = (site.upper(), n_days)
+    from repro.solar.datasets import dataset_token
+
+    key = (site.upper(), n_days, dataset_token(site))
     if key not in _TRACE_CACHE:
         _TRACE_CACHE[key] = build_dataset(site, n_days=n_days)
     return _TRACE_CACHE[key]
@@ -92,9 +99,12 @@ def batch_for(site: str, n_days: int, n_slots: int) -> WCMABatch:
     refreshes the entry, a miss beyond the bound evicts the least
     recently used batch.  The underlying native trace comes from
     :func:`trace_for`, so evicted batches rebuild only the slot view
-    and kernel caches, never the trace itself.
+    and kernel caches, never the trace itself.  Keys carry the same
+    dataset identity token as :func:`trace_for`.
     """
-    key = (site.upper(), n_days, n_slots)
+    from repro.solar.datasets import dataset_token
+
+    key = (site.upper(), n_days, n_slots, dataset_token(site))
     if key in _BATCH_CACHE:
         _BATCH_CACHE.move_to_end(key)
         return _BATCH_CACHE[key]
@@ -113,13 +123,22 @@ def clear_batch_cache() -> None:
 
 
 def sites_for(sites: Optional[Sequence[str]]) -> Tuple[str, ...]:
-    """Normalise a site selection (None -> the paper's six, in order)."""
+    """Normalise a site selection (None -> the paper's six, in order).
+
+    Explicit selections are validated against every available dataset
+    -- the synthetic six plus any registered measured site
+    (:mod:`repro.solar.ingest.sites`); the default stays the paper's
+    six.
+    """
     if sites is None:
         return SITE_ORDER
+    from repro.solar.datasets import available_datasets
+
+    known = available_datasets()
     resolved = tuple(s.upper() for s in sites)
-    unknown = [s for s in resolved if s not in SITE_ORDER]
+    unknown = [s for s in resolved if s not in known]
     if unknown:
-        raise ValueError(f"unknown sites: {unknown}; available: {SITE_ORDER}")
+        raise ValueError(f"unknown sites: {unknown}; available: {known}")
     return resolved
 
 
@@ -130,11 +149,11 @@ def supported_n_for_site(site: str, n_values: Sequence[int]) -> Tuple[int, ...]:
     in the sense that a slot then contains a single sample -- it is
     still evaluable (and trivially exact at alpha=1); what cannot be
     evaluated is N exceeding the native samples per day.  We keep every
-    N that divides the native rate.
+    N that divides the native rate.  Works for measured sites too.
     """
-    from repro.solar.sites import get_site
+    from repro.solar.datasets import samples_per_day_for
 
-    spd = get_site(site).samples_per_day
+    spd = samples_per_day_for(site)
     return tuple(n for n in n_values if spd % n == 0 and n <= spd)
 
 

@@ -68,13 +68,13 @@ class DutyCycledLoad:
             raise ValueError("stack requires at least one load")
         return cls(
             active_power_watts=np.array(
-                [l.active_power_watts for l in loads], dtype=float
+                [load.active_power_watts for load in loads], dtype=float
             ),
             sleep_power_watts=np.array(
-                [l.sleep_power_watts for l in loads], dtype=float
+                [load.sleep_power_watts for load in loads], dtype=float
             ),
-            min_duty=np.array([l.min_duty for l in loads], dtype=float),
-            max_duty=np.array([l.max_duty for l in loads], dtype=float),
+            min_duty=np.array([load.min_duty for load in loads], dtype=float),
+            max_duty=np.array([load.max_duty for load in loads], dtype=float),
         )
 
     def clamp(self, duty):

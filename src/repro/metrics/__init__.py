@@ -21,13 +21,16 @@ from repro.metrics.roi import DEFAULT_ROI_FRACTION, DEFAULT_WARMUP_DAYS, roi_mas
 from repro.metrics.evaluate import PredictionRun, evaluate_predictor
 from repro.metrics.summary import (
     FleetSummary,
+    QualitySummary,
     RobustnessSummary,
     RunSummary,
     format_fleet_summary,
+    format_quality_summary,
     format_robustness_summary,
     format_summary,
     summarise,
     summarise_fleet,
+    summarise_quality,
     summarise_robustness,
 )
 
@@ -52,4 +55,7 @@ __all__ = [
     "RobustnessSummary",
     "summarise_robustness",
     "format_robustness_summary",
+    "QualitySummary",
+    "summarise_quality",
+    "format_quality_summary",
 ]

@@ -18,11 +18,17 @@ duty is across sites, and which node is worst.
 one predictor across sites and its degradation against the clean
 baseline, plus which degradation hurts most.  It operates on plain row
 dicts so the metrics layer stays decoupled from the experiments layer.
+
+:func:`summarise_quality` digests an ingestion quality report
+(:class:`~repro.solar.ingest.quality.QualityReport`): flagged-sample
+counts and fractions per defect class, the worst day, and how much of
+the day grid is night.  It is duck-typed on the report's mask surface
+so the metrics layer stays decoupled from the ingest layer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
@@ -39,6 +45,9 @@ __all__ = [
     "RobustnessSummary",
     "summarise_robustness",
     "format_robustness_summary",
+    "QualitySummary",
+    "summarise_quality",
+    "format_quality_summary",
 ]
 
 #: Days per month used for the monthly breakdown (non-leap year).
@@ -289,6 +298,75 @@ def format_robustness_summary(summary: RobustnessSummary) -> str:
         f"{summary.most_benign_scenario} "
         f"({summary.most_benign_degradation_pp:+.2f}pp)"
     )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QualitySummary:
+    """Digest of one measured-trace quality report.
+
+    Counts are flagged samples per defect class; fractions are of the
+    whole trace.  ``worst_day`` is 0-based.
+    """
+
+    n_samples: int
+    n_days: int
+    resolution_minutes: int
+    flag_counts: Dict[str, int]
+    flag_fractions: Dict[str, float]
+    flagged_fraction: float
+    clean_days: int
+    worst_day: int
+    worst_day_fraction: float
+    night_fraction: float
+
+
+def summarise_quality(report) -> QualitySummary:
+    """Digest a quality report's masks.
+
+    Accepts any object with the
+    :class:`~repro.solar.ingest.quality.QualityReport` surface
+    (``masks()``, ``any_defect``, ``night_slots``, geometry fields).
+    """
+    flagged = np.asarray(report.any_defect, dtype=bool)
+    n = flagged.size
+    if n == 0:
+        raise ValueError("quality report covers no samples")
+    per_day = flagged.reshape(report.n_days, -1).mean(axis=1)
+    worst = int(per_day.argmax())
+    counts = {name: int(mask.sum()) for name, mask in report.masks().items()}
+    return QualitySummary(
+        n_samples=n,
+        n_days=int(report.n_days),
+        resolution_minutes=int(report.resolution_minutes),
+        flag_counts=counts,
+        flag_fractions={name: count / n for name, count in counts.items()},
+        flagged_fraction=float(flagged.mean()),
+        clean_days=int((per_day == 0).sum()),
+        worst_day=worst,
+        worst_day_fraction=float(per_day[worst]),
+        night_fraction=float(np.asarray(report.night_slots, dtype=bool).mean()),
+    )
+
+
+def format_quality_summary(summary: QualitySummary) -> str:
+    """Human-readable multi-line rendering of a :class:`QualitySummary`."""
+    lines: List[str] = []
+    lines.append(
+        f"quality: {summary.flagged_fraction:.2%} of "
+        f"{summary.n_samples} samples flagged across {summary.n_days} days "
+        f"({summary.resolution_minutes}-minute slots)"
+    )
+    for name, count in summary.flag_counts.items():
+        lines.append(
+            f"  {name:<8} {count:>6} samples ({summary.flag_fractions[name]:7.2%})"
+        )
+    lines.append(
+        f"clean days: {summary.clean_days}/{summary.n_days}; worst day: "
+        f"day {summary.worst_day + 1} "
+        f"({summary.worst_day_fraction:.1%} flagged)"
+    )
+    lines.append(f"night fraction of the slot grid: {summary.night_fraction:.1%}")
     return "\n".join(lines)
 
 

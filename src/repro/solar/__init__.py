@@ -22,10 +22,15 @@ generator:
 * :mod:`repro.solar.slots` -- slot decomposition used by the prediction
   algorithm (start-of-slot samples and slot mean power, Fig. 4).
 * :mod:`repro.solar.io` -- NREL-MIDC-like CSV round-trip.
-* :mod:`repro.solar.datasets` -- ``build_dataset(name)`` front-end.
+* :mod:`repro.solar.datasets` -- ``build_dataset(name)`` front-end
+  (synthetic sites plus registered measured sites).
 * :mod:`repro.solar.scenarios` -- composable, seeded trace-degradation
   scenarios (soiling, shading, sensor faults, gaps, regime shifts,
   clock jitter) and their registry.
+* :mod:`repro.solar.ingest` -- *real*-dataset ingestion: raw measured
+  NREL-MIDC-shaped CSVs into quality-flagged, cleaned traces whose
+  defects replay as scenarios (``from repro.solar.ingest import
+  ingest_csv``).
 """
 
 from repro.solar.trace import SolarTrace

@@ -1,0 +1,343 @@
+"""Quality-flag model for measured irradiance traces.
+
+Real measured solar data is imperfect in a handful of recurring ways,
+and each way maps onto one transform of the scenario engine
+(:mod:`repro.solar.scenarios.transforms`):
+
+==========  ===========================================  ==================
+Flag        Detected as                                  Scenario transform
+==========  ===========================================  ==================
+missing     no sample recorded (absent row, empty cell,  ``MissingGaps``
+            sentinel value, NaN)
+spike       reading above the physically plausible       ``SpikeNoise``
+            irradiance ceiling
+stuck       a run of identical nonzero readings (ADC     ``StuckAtFault``
+            latch-up, iced pyranometer)
+dropout     a run of zero readings strictly inside the   ``SensorDropout``
+            day's daylight span
+==========  ===========================================  ==================
+
+:func:`detect_quality` computes the four per-slot boolean masks plus
+the inferred per-slot-of-day night mask; :func:`clean_values` repairs
+the flagged slots.  Detection is a pure, deterministic function of the
+value array (and the externally known missing mask), and the masks are
+pairwise disjoint by construction:
+
+* ``missing`` is excluded from every other detector;
+* ``spike`` readings are nonzero and above the ceiling;
+* ``stuck`` readings are nonzero, below the ceiling (spikes excluded);
+* ``dropout`` readings are exactly zero.
+
+Missingness deserves a note: it is *telemetry metadata*, not a property
+of the imputed value array -- once a gap has been filled, no detector
+can tell an imputed zero from a measured one.  Ingestion records the
+mask when the file is parsed, and re-detection (e.g. on a replayed
+trace) must pass it back in via ``missing=``.
+
+Each detected defect run is *anchored* so the replay scenario built by
+:mod:`repro.solar.ingest.replay` can reproduce the raw trace exactly:
+a stuck run keeps its onset sample unflagged (the first reading of a
+latch-up is a genuine measurement; the repeats are the fault), which is
+also precisely the semantics of
+:class:`~repro.solar.scenarios.transforms.StuckAtFault`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "QualityThresholds",
+    "QualityReport",
+    "detect_quality",
+    "clean_values",
+    "FLAG_NAMES",
+]
+
+#: Mask names of one report, in detection-precedence order.
+FLAG_NAMES = ("missing", "spike", "stuck", "dropout")
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """Tunable knobs of the quality detectors.
+
+    Attributes
+    ----------
+    spike_wm2:
+        Physical plausibility ceiling; GHI above it is flagged as a
+        spike.  1500 W/m^2 sits comfortably above the solar constant
+        plus cloud-edge enhancement at the paper's site latitudes.
+    stuck_min_minutes:
+        Minimum duration of an identical-value run before its repeats
+        are flagged as stuck (the onset sample stays unflagged).
+    dropout_min_minutes:
+        Minimum duration of a zero-run strictly inside the day's
+        daylight span before it is flagged as a dropout.
+    night_day_fraction:
+        A slot-of-day column whose across-days fraction of positive
+        readings is below this is considered night.
+    """
+
+    spike_wm2: float = 1500.0
+    stuck_min_minutes: float = 20.0
+    dropout_min_minutes: float = 15.0
+    night_day_fraction: float = 0.02
+
+    def __post_init__(self):
+        if self.spike_wm2 <= 0:
+            raise ValueError("spike_wm2 must be positive")
+        if self.stuck_min_minutes <= 0 or self.dropout_min_minutes <= 0:
+            raise ValueError("minimum run durations must be positive")
+        if not 0.0 <= self.night_day_fraction < 1.0:
+            raise ValueError("night_day_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True, eq=False)
+class QualityReport:
+    """Per-slot defect masks of one measured trace.
+
+    All four masks are flat boolean arrays over the trace samples;
+    ``night_slots`` is per slot-of-day (length ``samples_per_day``).
+    Masks are pairwise disjoint (see module docstring).
+    """
+
+    missing: np.ndarray
+    spike: np.ndarray
+    stuck: np.ndarray
+    dropout: np.ndarray
+    night_slots: np.ndarray
+    samples_per_day: int
+    resolution_minutes: int
+    thresholds: QualityThresholds = field(default_factory=QualityThresholds)
+
+    def __post_init__(self):
+        for name in FLAG_NAMES:
+            mask = np.asarray(getattr(self, name), dtype=bool)
+            mask.flags.writeable = False
+            object.__setattr__(self, name, mask)
+        night = np.asarray(self.night_slots, dtype=bool)
+        night.flags.writeable = False
+        object.__setattr__(self, "night_slots", night)
+        sizes = {getattr(self, name).size for name in FLAG_NAMES}
+        if len(sizes) != 1:
+            raise ValueError(f"mask lengths differ: {sizes}")
+        n = sizes.pop()
+        if n == 0 or n % self.samples_per_day:
+            raise ValueError(
+                f"mask length {n} is not a whole number of days at "
+                f"{self.samples_per_day} samples/day"
+            )
+        if night.size != self.samples_per_day:
+            raise ValueError(
+                f"night_slots length {night.size} != samples_per_day "
+                f"{self.samples_per_day}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Total samples covered by the masks."""
+        return self.missing.size
+
+    @property
+    def n_days(self) -> int:
+        """Whole days covered by the masks."""
+        return self.n_samples // self.samples_per_day
+
+    @property
+    def any_defect(self) -> np.ndarray:
+        """Union of the four defect masks."""
+        return self.missing | self.spike | self.stuck | self.dropout
+
+    def masks(self) -> Dict[str, np.ndarray]:
+        """The four flag masks, keyed by :data:`FLAG_NAMES`."""
+        return {name: getattr(self, name) for name in FLAG_NAMES}
+
+    def counts(self) -> Dict[str, int]:
+        """Flagged-sample count per flag."""
+        return {name: int(mask.sum()) for name, mask in self.masks().items()}
+
+    def fractions(self) -> Dict[str, float]:
+        """Flagged-sample fraction per flag."""
+        return {
+            name: count / self.n_samples for name, count in self.counts().items()
+        }
+
+    def days_affected(self) -> Dict[str, int]:
+        """Number of days carrying at least one flagged sample, per flag."""
+        return {
+            name: int(mask.reshape(self.n_days, -1).any(axis=1).sum())
+            for name, mask in self.masks().items()
+        }
+
+
+def detect_quality(
+    values: np.ndarray,
+    samples_per_day: int,
+    resolution_minutes: int,
+    missing: Optional[np.ndarray] = None,
+    thresholds: Optional[QualityThresholds] = None,
+) -> QualityReport:
+    """Detect the quality flags of a measured value array.
+
+    Parameters
+    ----------
+    values:
+        Flat non-negative sample array covering whole days.  NaN
+        entries are treated as missing (in addition to ``missing``).
+    samples_per_day / resolution_minutes:
+        Trace geometry.
+    missing:
+        Externally known missing mask (telemetry metadata); merged with
+        the NaN entries of ``values``.
+    thresholds:
+        Detector knobs; defaults to :class:`QualityThresholds`.
+    """
+    t = thresholds or QualityThresholds()
+    v = np.asarray(values, dtype=float).reshape(-1)
+    if v.size == 0 or v.size % samples_per_day:
+        raise ValueError(
+            f"value length {v.size} is not a whole number of days at "
+            f"{samples_per_day} samples/day"
+        )
+    is_missing = np.isnan(v)
+    if missing is not None:
+        ext = np.asarray(missing, dtype=bool).reshape(-1)
+        if ext.size != v.size:
+            raise ValueError(
+                f"missing mask length {ext.size} != value length {v.size}"
+            )
+        is_missing = is_missing | ext
+    filled = np.where(is_missing, 0.0, v)
+    if not np.isfinite(filled).all():
+        raise ValueError("non-missing samples must be finite")
+    if (filled < 0).any():
+        raise ValueError("values must be non-negative (clip before detection)")
+
+    n_days = v.size // samples_per_day
+    valid = ~is_missing
+
+    spike = valid & (filled > t.spike_wm2)
+
+    stuck = _detect_stuck(
+        filled, valid & ~spike, _min_run(t.stuck_min_minutes, resolution_minutes)
+    )
+    # Spikes are excluded from the daylight-span computation: a
+    # pre-dawn glitch must not stretch the span and turn genuine night
+    # zeros into dropouts.
+    dropout = _detect_dropout(
+        filled,
+        valid & ~spike,
+        samples_per_day,
+        _min_run(t.dropout_min_minutes, resolution_minutes),
+    )
+
+    # Night inference: a slot-of-day column is night when, across the
+    # days it was actually (and healthily) observed, (almost) never
+    # positive.  Flagged samples are excluded so a defect-heavy column
+    # is not mistaken for darkness; a column with no healthy
+    # observation at all is conservatively treated as night.
+    healthy = valid & ~spike & ~stuck & ~dropout
+    sunny_2d = ((filled > 0.0) & healthy).reshape(n_days, samples_per_day)
+    observed = healthy.reshape(n_days, samples_per_day).sum(axis=0)
+    day_fraction = sunny_2d.sum(axis=0) / np.maximum(observed, 1)
+    night_slots = day_fraction < t.night_day_fraction
+    return QualityReport(
+        missing=is_missing,
+        spike=spike,
+        stuck=stuck,
+        dropout=dropout,
+        night_slots=night_slots,
+        samples_per_day=samples_per_day,
+        resolution_minutes=resolution_minutes,
+        thresholds=t,
+    )
+
+
+def _min_run(minutes: float, resolution_minutes: int) -> int:
+    """Duration threshold in whole samples (always at least 2)."""
+    return max(2, int(round(minutes / resolution_minutes)))
+
+
+def _detect_stuck(filled: np.ndarray, eligible: np.ndarray, min_run: int) -> np.ndarray:
+    """Repeats of identical nonzero eligible readings, runs >= min_run.
+
+    A maximal run of ``L`` equal samples flags its last ``L - 1``
+    samples (the onset stays unflagged) when ``L >= min_run``.
+    """
+    stuck = np.zeros(filled.size, dtype=bool)
+    if filled.size < 2:
+        return stuck
+    repeat = (
+        (filled[1:] == filled[:-1])
+        & (filled[1:] > 0.0)
+        & eligible[1:]
+        & eligible[:-1]
+    )
+    for start, stop in _true_runs(repeat):
+        # repeat[i] compares samples i and i+1, so a True-run over
+        # start..stop covers samples start..stop+1: length stop-start+2.
+        if stop - start + 2 >= min_run:
+            stuck[start + 1 : stop + 2] = True
+    return stuck
+
+
+def _detect_dropout(
+    filled: np.ndarray, valid: np.ndarray, samples_per_day: int, min_run: int
+) -> np.ndarray:
+    """Zero-runs strictly inside each day's daylight span, >= min_run."""
+    dropout = np.zeros(filled.size, dtype=bool)
+    days = filled.reshape(-1, samples_per_day)
+    valid_days = valid.reshape(-1, samples_per_day)
+    for d in range(days.shape[0]):
+        sunny = np.flatnonzero((days[d] > 0.0) & valid_days[d])
+        if sunny.size < 2:
+            continue
+        first, last = sunny[0], sunny[-1]
+        zero = np.zeros(samples_per_day, dtype=bool)
+        zero[first:last] = (days[d][first:last] == 0.0) & valid_days[d][first:last]
+        for start, stop in _true_runs(zero):
+            if stop - start + 1 >= min_run:
+                dropout[d * samples_per_day + start : d * samples_per_day + stop + 1] = (
+                    True
+                )
+    return dropout
+
+
+def _true_runs(mask: np.ndarray):
+    """Maximal ``(first, last)`` index pairs of the True runs of ``mask``."""
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([idx[0]], idx[breaks + 1]))
+    stops = np.concatenate((idx[breaks], [idx[-1]]))
+    return list(zip(starts, stops))
+
+
+def clean_values(values: np.ndarray, report: QualityReport) -> np.ndarray:
+    """Repair the flagged slots of ``values``.
+
+    Flagged samples are re-imputed by linear interpolation across the
+    unflagged ones; flagged samples falling in inferred night columns
+    are set to zero instead (a defect cannot hide irradiance where the
+    site is dark).  Unflagged samples pass through bit-identical, which
+    is what makes the replay round trip exact.
+    """
+    v = np.asarray(values, dtype=float).reshape(-1)
+    filled = np.where(report.missing, 0.0, v)
+    bad = report.any_defect
+    if not bad.any():
+        return filled
+    good = np.flatnonzero(~bad)
+    if good.size == 0:
+        raise ValueError("trace has no unflagged samples to repair from")
+    out = filled.copy()
+    holes = np.flatnonzero(bad)
+    out[holes] = np.interp(holes, good, filled[good])
+    night = np.tile(report.night_slots, report.n_days)
+    out[bad & night] = 0.0
+    return np.maximum(out, 0.0)

@@ -1,0 +1,237 @@
+"""Replay a measured trace's detected defects as a ``Scenario``.
+
+The quality-flag model (:mod:`repro.solar.ingest.quality`) detects
+*where* a measured trace is defective; this module expresses those
+defects as first-class scenario transforms so a cleaned measured trace
+plus its replayed-defects :class:`~repro.solar.scenarios.scenario.Scenario`
+round-trips through exactly the same robustness pipeline as the
+synthetic degradations.
+
+Each replay transform subclasses the catalogue transform whose fault
+model it instantiates -- the random windows of the parent are replaced
+by the measured masks, everything else (imputation policy, hold
+semantics, parameter validation, non-negativity) is inherited:
+
+================  ======================================================
+``ReplayedGaps``  :class:`~repro.solar.scenarios.transforms.MissingGaps`
+                  at the measured missing mask (ingestion represents
+                  missing telemetry as zero harvest, policy ``"zero"``)
+``ReplayedDropout``  :class:`~repro.solar.scenarios.transforms.SensorDropout`
+                  at the measured dropout mask
+``ReplayedStuck`` :class:`~repro.solar.scenarios.transforms.StuckAtFault`
+                  holding each run's onset sample (the sample just
+                  before the flagged repeats)
+``ReplayedSpikes``  :class:`~repro.solar.scenarios.transforms.SpikeNoise`
+                  restoring the measured spike amplitudes
+================  ======================================================
+
+Replay transforms are deterministic (they never draw from the
+scenario's random stream) and geometry-bound: applying one to a trace
+of a different length raises ``ValueError``.
+
+One deliberate deviation from the synthetic catalogue: replay
+transforms enforce shape and non-negativity but **not** the night
+invariant of the :class:`~repro.solar.scenarios.transforms.Transform`
+base class.  The synthetic invariant models light -- a fault cannot
+create irradiance at night -- but a replay reconstructs measured
+*readings*, and a latched or spiking sensor really does report power
+where the sky is dark; the raw file proves it did.  Without this, a
+defect detected in an inferred night column (repaired to zero in the
+clean trace) could never be restored.
+
+The round-trip guarantee: for an ingested file,
+``scenario.apply(clean)`` reproduces the raw trace byte-for-byte --
+unflagged samples pass through ``clean`` untouched, and every flagged
+sample is restored to its raw value (zero for missing and dropout, the
+onset value for stuck repeats, the recorded amplitude for spikes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.solar.ingest.quality import QualityReport, _true_runs
+from repro.solar.scenarios.scenario import DEFAULT_SCENARIO_SEED, Scenario
+from repro.solar.scenarios.transforms import (
+    MissingGaps,
+    SensorDropout,
+    SpikeNoise,
+    StuckAtFault,
+    Transform,
+    impute_holes,
+)
+
+__all__ = [
+    "ReplayedGaps",
+    "ReplayedDropout",
+    "ReplayedStuck",
+    "ReplayedSpikes",
+    "build_replay_scenario",
+]
+
+
+def _frozen_mask(mask) -> np.ndarray:
+    out = np.asarray(mask, dtype=bool).reshape(-1)
+    out.flags.writeable = False
+    return out
+
+
+def _check_geometry(mask: np.ndarray, n_samples: int, owner: str) -> None:
+    if mask.size != n_samples:
+        raise ValueError(
+            f"{owner} mask was built for {mask.size} samples but the "
+            f"trace has {n_samples}; replay transforms are bound to the "
+            "geometry of the trace they were detected on"
+        )
+
+
+class _ReplayBase(Transform):
+    """Measured-readings call contract for the replay transforms.
+
+    Validates the output shape and clamps at zero like the parent, but
+    does not re-impose the synthetic night invariant: a replayed defect
+    must be able to restore a nonzero *reading* recorded where the
+    inferred night grid says the sky was dark (see module docstring).
+    """
+
+    def __call__(self, values: np.ndarray, ctx) -> np.ndarray:
+        out = np.asarray(self._transform(values, ctx), dtype=float)
+        if out.size != values.size:
+            raise ValueError(
+                f"{type(self).__name__} changed the sample count: "
+                f"{values.size} -> {out.size}"
+            )
+        return np.maximum(out.reshape(values.shape), 0.0)
+
+
+@dataclass(frozen=True, eq=False)
+class ReplayedGaps(_ReplayBase, MissingGaps):
+    """Measured telemetry gaps at an explicit mask (no random draws)."""
+
+    mask: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.mask is None:
+            raise ValueError("ReplayedGaps requires a mask")
+        object.__setattr__(self, "mask", _frozen_mask(self.mask))
+
+    def _transform(self, values, ctx):
+        _check_geometry(self.mask, ctx.n_samples, type(self).__name__)
+        return impute_holes(values, self.mask, self.policy)
+
+
+@dataclass(frozen=True, eq=False)
+class ReplayedDropout(_ReplayBase, SensorDropout):
+    """Measured dropout windows at an explicit mask (no random draws)."""
+
+    mask: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.mask is None:
+            raise ValueError("ReplayedDropout requires a mask")
+        object.__setattr__(self, "mask", _frozen_mask(self.mask))
+
+    def _transform(self, values, ctx):
+        _check_geometry(self.mask, ctx.n_samples, type(self).__name__)
+        out = values.copy()
+        out[self.mask] = 0.0
+        return out
+
+
+@dataclass(frozen=True, eq=False)
+class ReplayedStuck(_ReplayBase, StuckAtFault):
+    """Measured stuck runs: each flagged run holds its onset sample.
+
+    The mask flags the *repeats* of each run (the onset stays
+    unflagged, matching the detector), so every flagged run starts at
+    index >= 1 and the held value is the sample just before the run.
+    """
+
+    mask: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.mask is None:
+            raise ValueError("ReplayedStuck requires a mask")
+        mask = _frozen_mask(self.mask)
+        if mask.size and mask[0]:
+            raise ValueError(
+                "ReplayedStuck mask flags sample 0, which has no onset "
+                "sample to hold"
+            )
+        object.__setattr__(self, "mask", mask)
+
+    def _transform(self, values, ctx):
+        _check_geometry(self.mask, ctx.n_samples, type(self).__name__)
+        out = values.copy()
+        for start, stop in _true_runs(self.mask):
+            out[start : stop + 1] = values[start - 1]
+        return out
+
+
+@dataclass(frozen=True, eq=False)
+class ReplayedSpikes(_ReplayBase, SpikeNoise):
+    """Measured spikes: restore the recorded amplitudes at the mask."""
+
+    mask: Optional[np.ndarray] = None
+    amplitudes: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.mask is None or self.amplitudes is None:
+            raise ValueError("ReplayedSpikes requires a mask and amplitudes")
+        mask = _frozen_mask(self.mask)
+        amplitudes = np.asarray(self.amplitudes, dtype=float).reshape(-1)
+        if amplitudes.size != int(mask.sum()):
+            raise ValueError(
+                f"amplitude count {amplitudes.size} != flagged sample "
+                f"count {int(mask.sum())}"
+            )
+        if (amplitudes < 0).any() or not np.isfinite(amplitudes).all():
+            raise ValueError("spike amplitudes must be finite and non-negative")
+        amplitudes.flags.writeable = False
+        object.__setattr__(self, "mask", mask)
+        object.__setattr__(self, "amplitudes", amplitudes)
+
+    def _transform(self, values, ctx):
+        _check_geometry(self.mask, ctx.n_samples, type(self).__name__)
+        out = values.copy()
+        out[self.mask] = self.amplitudes
+        return out
+
+
+def build_replay_scenario(
+    report: QualityReport,
+    raw_values: np.ndarray,
+    name: str = "defects",
+    seed: int = DEFAULT_SCENARIO_SEED,
+) -> Scenario:
+    """The measured trace's defects as a deterministic scenario.
+
+    Transforms are included only for flags the report actually carries,
+    so a pristine file maps to the identity scenario.  ``raw_values``
+    supplies the spike amplitudes (the raw trace's readings at the
+    spike mask).
+    """
+    raw = np.asarray(raw_values, dtype=float).reshape(-1)
+    if raw.size != report.n_samples:
+        raise ValueError(
+            f"raw value length {raw.size} != report length {report.n_samples}"
+        )
+    transforms = []
+    if report.missing.any():
+        transforms.append(ReplayedGaps(policy="zero", mask=report.missing))
+    if report.dropout.any():
+        transforms.append(ReplayedDropout(mask=report.dropout))
+    if report.stuck.any():
+        transforms.append(ReplayedStuck(mask=report.stuck))
+    if report.spike.any():
+        transforms.append(
+            ReplayedSpikes(mask=report.spike, amplitudes=raw[report.spike])
+        )
+    return Scenario(name=name, transforms=tuple(transforms), seed=seed)

@@ -103,6 +103,11 @@ def _read(handle: TextIO) -> SolarTrace:
         line = handle.readline()
     if resolution is None:
         raise FormatError("header lacks resolution_minutes")
+    if resolution <= 0 or MINUTES_PER_DAY % resolution:
+        raise FormatError(
+            f"resolution_minutes {resolution} does not divide a day "
+            f"({MINUTES_PER_DAY} minutes)"
+        )
 
     handle.seek(position)
     reader = csv.reader(handle)
@@ -137,9 +142,15 @@ def _read(handle: TextIO) -> SolarTrace:
 
     if not values:
         raise FormatError("file contains no samples")
-    return SolarTrace(
-        values=np.asarray(values), resolution_minutes=resolution, name=name
-    )
+    try:
+        return SolarTrace(
+            values=np.asarray(values), resolution_minutes=resolution, name=name
+        )
+    except ValueError as exc:
+        # A consistent grid can still describe an invalid trace (a
+        # truncated final day, negative or non-finite samples); surface
+        # those as format errors too, not library tracebacks.
+        raise FormatError(str(exc))
 
 
 def dumps(trace: SolarTrace) -> str:

@@ -27,10 +27,12 @@ from repro.solar.scenarios.transforms import (
     PartialShading,
     SensorDropout,
     SoilingRamp,
+    SpikeNoise,
     StuckAtFault,
     TimestampJitter,
     Transform,
     TransformContext,
+    impute_holes,
 )
 from repro.solar.scenarios.registry import (
     available_scenarios,
@@ -50,9 +52,11 @@ __all__ = [
     "SensorDropout",
     "StuckAtFault",
     "MissingGaps",
+    "SpikeNoise",
     "CloudRegimeShift",
     "TimestampJitter",
     "GAP_POLICIES",
+    "impute_holes",
     "register_scenario",
     "unregister_scenario",
     "make_scenario",

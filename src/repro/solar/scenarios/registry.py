@@ -15,9 +15,14 @@ Registered defaults:
 ``gaps-interp``     missing telemetry, linear-interpolation imputation
 ``gaps-zero``       missing telemetry, zero imputation
 ``regime-shift``    mid-trace shift to a gloomy cloud regime
+``spikes``          isolated implausible-amplitude spike faults
 ``jitter``          per-day timestamp (clock-drift) jitter
 ``harsh-field``     soiling + shading + dropout + jitter composite
 =================== ===================================================
+
+Ingesting a measured trace (:mod:`repro.solar.ingest`) additionally
+registers a ``<site>-defects`` scenario replaying the defects detected
+in that file.
 
 Factories take ``factory(seed=..., **kwargs)`` and return a
 :class:`~repro.solar.scenarios.scenario.Scenario`.  Third-party
@@ -37,6 +42,7 @@ from repro.solar.scenarios.transforms import (
     PartialShading,
     SensorDropout,
     SoilingRamp,
+    SpikeNoise,
     StuckAtFault,
     TimestampJitter,
 )
@@ -207,6 +213,14 @@ def _regime_shift(seed: int, onset_fraction: float = 0.5) -> Scenario:
     )
 
 
+def _spikes(seed: int, rate_per_day: float = 2.0) -> Scenario:
+    return Scenario(
+        name="spikes",
+        transforms=(SpikeNoise(rate_per_day=rate_per_day),),
+        seed=seed,
+    )
+
+
 def _jitter(seed: int, max_shift_minutes: float = 15.0) -> Scenario:
     return Scenario(
         name="jitter",
@@ -263,6 +277,7 @@ register_scenario("gaps-zero", _gaps("zero"), "telemetry gaps, zero imputation")
 register_scenario(
     "regime-shift", _regime_shift, "mid-trace shift to a gloomy cloud regime"
 )
+register_scenario("spikes", _spikes, "isolated implausible-amplitude spike faults")
 register_scenario("jitter", _jitter, "per-day clock-drift timestamp jitter")
 register_scenario(
     "harsh-field", _harsh_field, "soiling + shading + dropout + jitter composite"

@@ -38,9 +38,11 @@ __all__ = [
     "SensorDropout",
     "StuckAtFault",
     "MissingGaps",
+    "SpikeNoise",
     "CloudRegimeShift",
     "TimestampJitter",
     "GAP_POLICIES",
+    "impute_holes",
 ]
 
 #: Imputation policies understood by :class:`MissingGaps`.
@@ -291,25 +293,71 @@ class MissingGaps(Transform):
 
     def _transform(self, values, ctx):
         missing = _draw_windows(ctx, self.rate_per_day, self.mean_duration_minutes)
-        if not missing.any():
-            return values.copy()
-        if self.policy == "zero":
-            out = values.copy()
-            out[missing] = 0.0
-            return out
-        present = np.flatnonzero(~missing)
-        if present.size == 0:
-            return np.zeros_like(values)
-        holes = np.flatnonzero(missing)
-        if self.policy == "hold":
-            # Index of the latest present sample at or before each hole;
-            # holes before the first present sample fall back to it.
-            prev = np.searchsorted(present, holes, side="right") - 1
-            fill = values[present[np.maximum(prev, 0)]]
-        else:  # "interp"
-            fill = np.interp(holes, present, values[present])
+        return impute_holes(values, missing, self.policy)
+
+
+def impute_holes(values: np.ndarray, missing: np.ndarray, policy: str) -> np.ndarray:
+    """Fill the ``missing`` samples of ``values`` by ``policy``.
+
+    The shared imputation kernel behind :class:`MissingGaps` (random
+    gap windows) and the ingestion replay transforms (measured gap
+    masks).  ``policy`` is one of :data:`GAP_POLICIES`; the input is
+    never mutated.
+    """
+    if policy not in GAP_POLICIES:
+        raise ValueError(f"unknown gap policy {policy!r}; available: {GAP_POLICIES}")
+    if not missing.any():
+        return values.copy()
+    if policy == "zero":
         out = values.copy()
-        out[holes] = fill
+        out[missing] = 0.0
+        return out
+    present = np.flatnonzero(~missing)
+    if present.size == 0:
+        return np.zeros_like(values)
+    holes = np.flatnonzero(missing)
+    if policy == "hold":
+        # Index of the latest present sample at or before each hole;
+        # holes before the first present sample fall back to it.
+        prev = np.searchsorted(present, holes, side="right") - 1
+        fill = values[present[np.maximum(prev, 0)]]
+    else:  # "interp"
+        fill = np.interp(holes, present, values[present])
+    out = values.copy()
+    out[holes] = fill
+    return out
+
+
+@dataclass(frozen=True)
+class SpikeNoise(Transform):
+    """Single-sample spike faults: readings jump to implausible levels.
+
+    Electrical transients (loose connector, ADC glitch) or cloud-edge
+    enhancement push isolated samples far above the clear-sky envelope.
+    Poisson(``rate_per_day * n_days``) samples are raised to an
+    amplitude drawn uniformly from ``amplitude_wm2``; the spike only
+    ever *raises* a reading, and the base-class night invariant keeps
+    dark slots dark (a spike is a daylight measurement fault).
+    """
+
+    rate_per_day: float = 2.0
+    amplitude_wm2: Tuple[float, float] = (1600.0, 2200.0)
+
+    def __post_init__(self):
+        if self.rate_per_day < 0:
+            raise ValueError("rate_per_day must be non-negative")
+        low, high = self.amplitude_wm2
+        if not 0.0 < low <= high:
+            raise ValueError("amplitude_wm2 must be an increasing positive pair")
+
+    def _transform(self, values, ctx):
+        n_events = int(ctx.rng.poisson(self.rate_per_day * ctx.n_days))
+        out = values.copy()
+        if n_events == 0:
+            return out
+        idx = ctx.rng.integers(0, ctx.n_samples, size=n_events)
+        amplitude = ctx.rng.uniform(*self.amplitude_wm2, size=n_events)
+        out[idx] = np.maximum(out[idx], amplitude)
         return out
 
 

@@ -26,7 +26,7 @@ reproduction's conclusions rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

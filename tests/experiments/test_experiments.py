@@ -60,8 +60,8 @@ class TestCommon:
                 batch_for("PFCI", 3, n)
             assert len(_BATCH_CACHE) == BATCH_CACHE_MAX_ENTRIES
             # Oldest keys were evicted, newest survive.
-            assert ("PFCI", 3, n_values[0]) not in _BATCH_CACHE
-            assert ("PFCI", 3, n_values[-1]) in _BATCH_CACHE
+            assert ("PFCI", 3, n_values[0], None) not in _BATCH_CACHE
+            assert ("PFCI", 3, n_values[-1], None) in _BATCH_CACHE
             # A hit refreshes recency: touch the oldest survivor, add one
             # more key, and the survivor must still be cached.
             survivor = next(iter(_BATCH_CACHE))

@@ -87,6 +87,48 @@ class TestFormatValidation:
         with pytest.raises(FormatError, match="resolution"):
             loads(text)
 
+    @pytest.mark.parametrize("resolution", [0, -5, 25, 7])
+    def test_wrong_resolution_rejected(self, resolution):
+        """Non-positive or non-day-dividing resolutions are format errors."""
+        text = (
+            f"# repro-solar-trace v1\n# resolution_minutes: {resolution}\n"
+            "day,minute,ghi_wm2\n1,0,0\n"
+        )
+        with pytest.raises(FormatError, match="does not divide a day"):
+            loads(text)
+
+    def test_non_monotonic_day_order(self):
+        good = dumps(small_trace())
+        lines = good.splitlines()
+        # Swap two sample rows: the grid is then non-monotonic.
+        lines[4], lines[5] = lines[5], lines[4]
+        with pytest.raises(FormatError, match="grid"):
+            loads("\n".join(lines) + "\n")
+
+    def test_truncated_final_day(self):
+        good = dumps(small_trace())
+        lines = good.splitlines()
+        with pytest.raises(FormatError, match="whole number of days"):
+            loads("\n".join(lines[:-10]) + "\n")
+
+    def test_negative_sample_rejected(self):
+        good = dumps(small_trace())
+        lines = good.splitlines()
+        row = lines[10].split(",")
+        row[2] = "-5.0"
+        lines[10] = ",".join(row)
+        with pytest.raises(FormatError, match="negative"):
+            loads("\n".join(lines) + "\n")
+
+    def test_non_finite_sample_rejected(self):
+        good = dumps(small_trace())
+        lines = good.splitlines()
+        row = lines[10].split(",")
+        row[2] = "inf"
+        lines[10] = ",".join(row)
+        with pytest.raises(FormatError, match="non-finite"):
+            loads("\n".join(lines) + "\n")
+
 
 class TestWriteFormat:
     def test_header_content(self):

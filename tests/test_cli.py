@@ -223,6 +223,124 @@ class TestFleetCommand:
         assert "FLEET: fleet simulation: 4 nodes" in out
 
 
+class TestIngestCommand:
+    def sample(self):
+        from repro.solar.ingest import sample_csv_path
+
+        return str(sample_csv_path())
+
+    def test_ingest_summary_and_quality(self, capsys):
+        assert main(["ingest", self.sample()]) == 0
+        out = capsys.readouterr().out
+        assert "ingested SAMPLE-MIDC" in out
+        assert "quality:" in out and "dropout" in out
+        assert "replay scenario:" in out
+
+    def test_ingest_clean_export_roundtrips(self, tmp_path, capsys):
+        out_path = tmp_path / "clean.csv"
+        code = main(
+            ["ingest", self.sample(), "--name", "M", "--out", str(out_path)]
+        )
+        assert code == 0
+        trace = read_csv(out_path)
+        assert trace.name == "M"
+        assert trace.n_days == 28
+        assert (trace.values >= 0).all()
+
+    def test_ingest_resolution_and_channel(self, capsys):
+        code = main(
+            ["ingest", self.sample(), "--resolution", "15",
+             "--channel", "air temp"]
+        )
+        assert code == 0
+        assert "Air Temperature" in capsys.readouterr().out
+
+    def test_ingest_missing_file_exits_cleanly(self, capsys):
+        code = main(["ingest", "/nonexistent/file.csv"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_ingest_bad_channel_exits_cleanly(self, capsys):
+        code = main(["ingest", self.sample(), "--channel", "nope"])
+        assert code == 2
+        assert "unknown channel" in capsys.readouterr().err
+
+    def test_ingest_bad_resolution_exits_cleanly(self, capsys):
+        code = main(["ingest", self.sample(), "--resolution", "7"])
+        assert code == 2
+        assert "target resolution" in capsys.readouterr().err
+
+
+class TestRobustnessTrace:
+    @pytest.fixture(autouse=True)
+    def _cleanup_registry(self):
+        yield
+        from repro.solar.ingest.sites import clear_measured_sites
+
+        clear_measured_sites()
+
+    def test_trace_runs_matrix_and_defects_replay(self, capsys):
+        from repro.solar.datasets import available_datasets
+        from repro.solar.ingest import sample_csv_path
+
+        code = main(
+            ["robustness", "--trace", str(sample_csv_path()),
+             "--scenarios", "dropout", "--predictors", "persistence",
+             "--no-tune", "--fleet-days", "8"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # --days defaulted past the trace length: clamped with a note.
+        assert "running the matrix at 28 days" in captured.err
+        out = captured.out
+        assert "SAMPLE-MIDC" in out
+        assert "sample-midc-defects" in out
+        assert "ROBUSTNESS-FLEET" in out
+        # The registration is a per-invocation side effect, cleaned up.
+        assert "SAMPLE-MIDC" not in available_datasets()
+
+    def test_foreign_measured_site_does_not_veto_default_n(self, tmp_path):
+        """A registered measured site whose rate N cannot divide must
+        not fail validation of a default (synthetic-six) robustness run."""
+        from repro.cli import _validate_names
+        from repro.solar.ingest.sites import register_measured_site
+
+        hourly = tmp_path / "hourly.csv"
+        hourly.write_text(
+            "DATE,MST,Global [W/m^2]\n"
+            + "\n".join(f"03/01/2010,{h:02d}:00,10.0" for h in range(24))
+            + "\n"
+        )
+        register_measured_site(hourly, name="HOURLY")  # spd=24, 48 won't divide
+        args = build_parser().parse_args(["robustness", "--n", "48"])
+        _validate_names(args)  # must not raise
+
+    def test_trace_only_run_skips_synthetic_n_check(self):
+        """--trace without --sites runs the measured site alone; an N
+        the synthetic six cannot slot must pass validation (the
+        measured check happens after ingestion)."""
+        from repro.cli import _validate_names
+
+        args = build_parser().parse_args(
+            ["robustness", "--trace", "whatever.csv", "--n", "90"]
+        )
+        _validate_names(args)  # must not raise (90 does not divide 288)
+
+    def test_trace_missing_file_exits_cleanly(self, capsys):
+        code = main(["robustness", "--trace", "/nonexistent/file.csv"])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_trace_bad_n_exits_cleanly(self, capsys):
+        from repro.solar.ingest import sample_csv_path
+
+        code = main(
+            ["robustness", "--trace", str(sample_csv_path()), "--n", "54"]
+        )
+        assert code == 2
+        assert "does not divide" in capsys.readouterr().err
+
+
 class TestRobustnessCommand:
     def test_matrix_and_summary(self, capsys):
         code = main(
