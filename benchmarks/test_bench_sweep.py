@@ -229,16 +229,20 @@ def test_bench_run_all_parallel(benchmark, full_days):
 
     clear_batch_cache()
     clear_trace_cache()
+    stats = []
     start = time.perf_counter()
-    parallel = run_all(n_days=full_days, jobs=jobs)
+    parallel = run_all(n_days=full_days, jobs=jobs, stats=stats)
     parallel_seconds = time.perf_counter() - start
 
     assert render_report(sequential) == render_report(parallel)
     speedup = sequential_seconds / parallel_seconds
+    exec_stats = stats[0]
     print(
         f"\nrun_all({full_days}d): sequential {sequential_seconds:.2f}s vs "
         f"jobs={jobs} {parallel_seconds:.2f}s ({speedup:.2f}x on "
-        f"{cores} core(s))"
+        f"{cores} core(s)); backend={exec_stats.backend} "
+        f"chunk={exec_stats.chunk_size} "
+        f"dispatch {1e3 * exec_stats.dispatch_per_unit_s:.2f} ms/unit"
     )
     _record(
         "run_all_parallel",
@@ -249,6 +253,12 @@ def test_bench_run_all_parallel(benchmark, full_days):
             "sequential_s": round(sequential_seconds, 4),
             "parallel_s": round(parallel_seconds, 4),
             "speedup": round(speedup, 2),
+            "backend": exec_stats.backend,
+            "n_units": exec_stats.n_units,
+            "chunk_size": exec_stats.chunk_size,
+            "n_chunks": exec_stats.n_chunks,
+            "dispatch_s": round(exec_stats.dispatch_s, 4),
+            "dispatch_per_unit_s": round(exec_stats.dispatch_per_unit_s, 6),
         },
     )
     # Process pools cannot beat sequential without cores to run on; the
@@ -256,5 +266,9 @@ def test_bench_run_all_parallel(benchmark, full_days):
     if cores >= jobs:
         assert speedup >= MIN_PARALLEL_SPEEDUP, (
             f"expected >= {MIN_PARALLEL_SPEEDUP}x with {jobs} jobs on "
-            f"{cores} cores, measured {speedup:.2f}x"
+            f"{cores} cores, measured sequential {sequential_seconds:.2f}s "
+            f"vs parallel {parallel_seconds:.2f}s = {speedup:.2f}x "
+            f"(backend={exec_stats.backend}, {exec_stats.n_units} units in "
+            f"{exec_stats.n_chunks} chunks of {exec_stats.chunk_size}, "
+            f"dispatch {exec_stats.dispatch_s:.3f}s)"
         )

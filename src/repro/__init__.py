@@ -71,7 +71,7 @@ from repro.solar import (
     make_scenario,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -284,6 +284,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="resample the --trace CSV to this resolution",
     )
 
+    _add_cache_options(rob_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_info_p = cache_sub.add_parser(
+        "info", help="entry count and size of the result cache"
+    )
+    cache_info_p.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="cache directory (default: $REPRO_SOLAR_CACHE_DIR or "
+             "~/.cache/repro-solar)",
+    )
+    cache_clear_p = cache_sub.add_parser(
+        "clear", help="remove every cached result"
+    )
+    cache_clear_p.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="cache directory (default: $REPRO_SOLAR_CACHE_DIR or "
+             "~/.cache/repro-solar)",
+    )
+
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
     plot_p.add_argument("figure", choices=("fig2", "fig7"))
     plot_p.add_argument("--days", type=_positive_int, default=365)
@@ -335,6 +358,51 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
             "trace/batch caches (default: sequential)"
         ),
     )
+    _add_cache_options(parser)
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default=None,
+        help="pool flavour with --jobs (default: process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default: $REPRO_SOLAR_CACHE_DIR "
+             "or ~/.cache/repro-solar)",
+    )
+
+
+def _cache_from_args(args):
+    """The run's :class:`~repro.parallel.cache.ResultCache` (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.parallel.cache import ResultCache, default_cache_dir
+
+    root = getattr(args, "cache_dir", None)
+    return ResultCache(root if root else default_cache_dir())
+
+
+def _print_exec_stats(stats_list, cache) -> None:
+    """One machine-greppable status line per executor call (stderr)."""
+    for s in stats_list:
+        line = (
+            f"[parallel] backend={s.backend} jobs={s.jobs} "
+            f"units={s.n_units} chunk={s.chunk_size}"
+        )
+        if cache is not None:
+            line += f" cache-hits={s.cache_hits} cache-misses={s.cache_misses}"
+        line += f" elapsed={s.elapsed_s:.2f}s"
+        print(line, file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -425,6 +493,25 @@ def _validate_names(args) -> None:
 
 
 def _dispatch(args) -> int:
+    if args.command == "cache":
+        from repro.parallel.cache import ResultCache, default_cache_dir
+
+        cache = ResultCache(args.dir if args.dir else default_cache_dir())
+        try:
+            if args.cache_command == "info":
+                info = cache.info()
+                print(f"cache root: {info['root']}")
+                print(f"salt:       {info['salt']}")
+                print(f"entries:    {info['entries']}")
+                print(f"size:       {info['bytes']:,} bytes")
+            else:
+                removed = cache.clear()
+                print(f"removed {removed} entries from {cache.root}")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
         print("data sets:  ", ", ".join(available_datasets()))
@@ -574,6 +661,8 @@ def _dispatch(args) -> int:
                 days = measured.n_days
             fleet_days = min(fleet_days, measured.n_days)
 
+        cache = _cache_from_args(args)
+        stats: List = []
         try:
             result = run_robustness(
                 n_days=days,
@@ -584,6 +673,9 @@ def _dispatch(args) -> int:
                 seed=args.seed,
                 jobs=args.jobs,
                 tune_wcma=not args.no_tune,
+                backend=args.backend,
+                cache=cache,
+                stats=stats,
             )
             print(result.render())
             print()
@@ -618,9 +710,13 @@ def _dispatch(args) -> int:
                     seed=args.seed,
                     jobs=args.jobs,
                     tune_wcma=not args.no_tune,
+                    backend=args.backend,
+                    cache=cache,
+                    stats=stats,
                 )
                 print()
                 print(replay_result.render())
+            _print_exec_stats(stats, cache)
         finally:
             if measured is not None:
                 # The registration was a per-invocation side effect;
@@ -641,8 +737,19 @@ def _dispatch(args) -> int:
         return 0
 
     only = None if args.command == "run-all" else args.experiments
-    results = run_all(n_days=args.days, sites=args.sites, only=only, jobs=args.jobs)
+    cache = _cache_from_args(args)
+    stats: List = []
+    results = run_all(
+        n_days=args.days,
+        sites=args.sites,
+        only=only,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
+        stats=stats,
+    )
     print(render_report(results))
+    _print_exec_stats(stats, cache)
     return 0
 
 

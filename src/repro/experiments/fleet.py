@@ -26,7 +26,7 @@ from repro.management.controller import (
 from repro.management.fleet import FleetNodeSpec, FleetRunResult, FleetSimulator
 from repro.management.harvester import PVHarvester
 from repro.management.storage import Battery, Supercapacitor
-from repro.solar.datasets import build_dataset
+from repro.solar.datasets import build_dataset, samples_per_day_for
 from repro.solar.scenarios import DEFAULT_SCENARIO_SEED, make_scenario
 
 __all__ = [
@@ -78,6 +78,7 @@ def build_fleet_specs(
     supercap_threshold_joules: float = 1000.0,
     scenarios: Optional[Sequence[str]] = None,
     scenario_seed: int = DEFAULT_SCENARIO_SEED,
+    node_range: Optional[Tuple[int, int]] = None,
 ) -> List[FleetNodeSpec]:
     """A heterogeneous fleet: node ``i`` cycles through every axis.
 
@@ -94,19 +95,36 @@ def build_fleet_specs(
     (site, scenario) pair shares one perturbed trace object, so the
     simulator still groups nodes per trace.  ``None`` keeps every node
     on the clean trace (and the node names unchanged).
+
+    ``node_range=(start, stop)`` builds only that *block* of the fleet:
+    node ``i`` keeps its global mixed-radix identity (axes, name,
+    trace), so the sharded fleet engine can materialise one fixed-size
+    block per worker instead of all ``n_nodes`` specs at once --
+    ``build_fleet_specs(n, ...)`` equals the concatenation of its
+    blocks, spec for spec.
     """
     if n_nodes <= 0:
         raise ValueError("n_nodes must be positive")
+    if node_range is None:
+        start, stop = 0, n_nodes
+    else:
+        start, stop = node_range
+        if not (0 <= start <= stop <= n_nodes):
+            raise ValueError(
+                f"node_range {node_range!r} outside [0, {n_nodes}]"
+            )
     site_list = sites_for(tuple(sites) if sites is not None else None)
-    traces = {site: build_dataset(site, n_days=n_days) for site in site_list}
     # Fail on a bad (site, N) pairing before any simulation work, and
-    # cheaply -- without building the simulator twice.
-    for site, trace in traces.items():
-        if n_slots <= 0 or trace.samples_per_day % n_slots:
+    # cheaply -- without building a single trace: a *block* of a large
+    # fleet (node_range) must only pay for the sites its nodes draw, so
+    # base traces are built lazily below alongside the perturbed ones.
+    for site in site_list:
+        if n_slots <= 0 or samples_per_day_for(site) % n_slots:
             raise ValueError(
                 f"N={n_slots} does not divide samples per day "
-                f"({trace.samples_per_day}) of site {site}"
+                f"({samples_per_day_for(site)}) of site {site}"
             )
+    traces: Dict[str, object] = {}
     scenario_names = (
         tuple(s.lower() for s in scenarios) if scenarios else ("clean",)
     )
@@ -117,7 +135,7 @@ def build_fleet_specs(
     perturbed: Dict[Tuple[str, str], object] = {}
     label_scenarios = scenarios is not None
     specs: List[FleetNodeSpec] = []
-    for i in range(n_nodes):
+    for i in range(start, stop):
         digits = i
         predictor = predictors[digits % len(predictors)]
         digits //= len(predictors)
@@ -134,6 +152,8 @@ def build_fleet_specs(
             name = f"{site.lower()}-{scenario_name}-{predictor}-{controller_kind}-{i}"
         key = (site, scenario_name)
         if key not in perturbed:
+            if site not in traces:
+                traces[site] = build_dataset(site, n_days=n_days)
             perturbed[key] = built[scenario_name].apply(traces[site])
         specs.append(
             FleetNodeSpec(

@@ -25,22 +25,29 @@ Two harnesses:
 
 Parallel execution mirrors :mod:`repro.experiments.runner`: the unit of
 work is one (site, scenario) cell, cells are independent by
-construction, workers own private trace caches, and the merged output
-is byte-identical to the sequential path (the degradation column is
-computed *after* the merge in both paths).  Everything is seeded
-through the scenario engine, so the same seed produces the same report
-at any ``jobs``.
+construction, workers own private trace caches, and both code paths
+run through the shared executor
+(:func:`repro.parallel.executor.execute_units`), so the merged output
+is byte-identical at any ``jobs``/``backend`` (the degradation column
+is computed *after* the merge in every path).  Everything is seeded
+through the scenario engine, so the same seed produces the same report.
+
+With a :class:`~repro.parallel.cache.ResultCache`, each cell's rows are
+memoised under a digest of (site, scenario, n_days, n_slots,
+predictors, seed, tune_wcma, dataset identity, code salt) *before* the
+degradation fill -- an interrupted matrix resumes from its finished
+cells and only recomputes the missing ones.
 
 Measured sites (:mod:`repro.solar.ingest.sites`) flow through both
 harnesses by name like the synthetic six -- including their
 ``<name>-defects`` replay scenarios -- and their picklable specs are
-re-installed in pool workers via an initializer, so the parallel path
-works under any multiprocessing start method.
+re-installed in pool workers via the
+:func:`~repro.experiments.common.warm_worker` initializer, so the
+parallel path works under any multiprocessing start method.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.optimizer import SweepSpec, mape_for_params, sweep_many
@@ -186,18 +193,31 @@ def _matrix_unit(
     return rows
 
 
-def _install_measured_worker(specs) -> None:
-    """Process-pool initializer: re-register measured sites in workers.
-
-    The measured-site registry (:mod:`repro.solar.ingest.sites`) is
-    per-process state; passing the picklable specs through the pool
-    initializer makes measured site names resolvable in every worker
-    regardless of the start method (ingestion itself stays lazy and
-    memoised per worker).
-    """
-    from repro.solar.ingest.sites import install_measured_sites
-
-    install_measured_sites(specs)
+def _cell_key(
+    cache,
+    site: str,
+    scenario_name: str,
+    n_days: int,
+    n_slots: int,
+    predictors: Tuple[str, ...],
+    seed: int,
+    tune_wcma: bool,
+    identity,
+) -> str:
+    """Cache digest of one (site, scenario) cell's pre-merge rows."""
+    return cache.key(
+        {
+            "kind": "robustness-cell",
+            "site": site,
+            "scenario": scenario_name,
+            "n_days": n_days,
+            "n_slots": n_slots,
+            "predictors": list(predictors),
+            "seed": seed,
+            "tune_wcma": bool(tune_wcma),
+            "token": identity,
+        }
+    )
 
 
 def _matrix_row(scenario: str, site: str, predictor: str, error: float) -> dict:
@@ -222,6 +242,9 @@ def run(
     seed: int = DEFAULT_SCENARIO_SEED,
     jobs: Optional[int] = None,
     tune_wcma: bool = True,
+    backend: Optional[str] = None,
+    cache=None,
+    stats: Optional[list] = None,
 ) -> ExperimentResult:
     """The robustness matrix: every (scenario, site, predictor) cell.
 
@@ -243,11 +266,23 @@ def run(
         Scenario-engine seed; the whole report is a pure function of
         ``(seed, n_days, sites, scenarios, predictors, n_slots)``.
     jobs:
-        Worker processes (None/1 = sequential; output identical).
+        Worker count (None/1 = inline; output identical).
     tune_wcma:
         Also re-tune WCMA per cell via a full grid search through
         :func:`~repro.core.optimizer.sweep_many`.
+    backend:
+        Executor backend (:data:`repro.parallel.executor.BACKENDS`);
+        ``None`` = process pool when ``jobs > 1``.
+    cache:
+        Optional :class:`~repro.parallel.cache.ResultCache`; finished
+        cells are memoised (pre degradation fill) and an interrupted
+        matrix resumes from them.
+    stats:
+        Optional list; the call appends its
+        :class:`~repro.parallel.executor.ExecutionStats` record.
     """
+    from repro.parallel.executor import execute_units
+
     site_list = sites_for(sites)
     scenario_list = scenarios_for(scenarios)
     predictor_list = _predictors_for(predictors)
@@ -257,40 +292,46 @@ def run(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
 
     units = [(site, scenario) for site in site_list for scenario in scenario_list]
-    outputs: List[List[dict]]
-    if jobs is None or jobs == 1 or len(units) <= 1:
-        outputs = [
-            _matrix_unit(
-                site, scenario, n_days, n_slots, predictor_list, seed, tune_wcma
+
+    keys = None
+    if cache is not None:
+        from repro.parallel.cache import dataset_identity
+
+        identities = {site: dataset_identity(site) for site in site_list}
+        keys = [
+            _cell_key(
+                cache, site, scenario, n_days, n_slots, predictor_list,
+                seed, tune_wcma, identities[site],
             )
             for site, scenario in units
         ]
-    else:
+
+    initializer = None
+    initargs = ()
+    if backend != "thread":
+        from repro.experiments.common import warm_worker
         from repro.solar.ingest.sites import measured_specs_for
 
         measured = measured_specs_for(site_list)
-        pool_kwargs = (
-            dict(initializer=_install_measured_worker, initargs=(measured,))
-            if measured
-            else {}
-        )
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(units)), **pool_kwargs
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _matrix_unit,
-                    site,
-                    scenario,
-                    n_days,
-                    n_slots,
-                    predictor_list,
-                    seed,
-                    tune_wcma,
-                )
-                for site, scenario in units
-            ]
-            outputs = [future.result() for future in futures]
+        if measured:
+            initializer = warm_worker
+            initargs = (measured,)
+
+    outputs, exec_stats = execute_units(
+        _matrix_unit,
+        [
+            (site, scenario, n_days, n_slots, predictor_list, seed, tune_wcma)
+            for site, scenario in units
+        ],
+        jobs=jobs,
+        backend=backend,
+        initializer=initializer,
+        initargs=initargs,
+        cache=cache,
+        keys=keys,
+    )
+    if stats is not None:
+        stats.append(exec_stats)
 
     rows = [row for unit_rows in outputs for row in unit_rows]
     _fill_degradation(rows)

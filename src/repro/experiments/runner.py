@@ -7,32 +7,35 @@ EXPERIMENTS.md embeds.  The command-line front-end lives in
 
 Parallel execution
 ------------------
-``run_all(jobs=n)`` with ``n > 1`` dispatches the work onto a process
-pool.  The unit of work is one **(experiment, site)** pair for the
-trace-driven multi-site reproductions (Tables I/II/III/V, Fig. 7) and
-one whole experiment for the cheap or single-site ones (Table IV,
-Figs. 2/6): sites are independent by construction -- every sweep reads
-only its own site's trace -- so per-site results concatenate, in site
-order, to exactly the sequential rows.
+``run_all`` decomposes the selection into work units -- one
+**(experiment, site)** pair for the trace-driven multi-site
+reproductions (Tables I/II/III/V, Fig. 7), one whole experiment for
+the cheap or single-site ones (Table IV, Figs. 2/6) -- and hands them
+to the shared executor (:func:`repro.parallel.executor.execute_units`).
+Sites are independent by construction (every sweep reads only its own
+site's trace), so per-site results concatenate, in site order, to
+exactly the sequential rows; *both* code paths run the same unit split
+and merge, which is what makes their output -- and their cache keys --
+identical.
 
-Each worker process owns private copies of the experiment-level caches
-(:func:`repro.experiments.common.trace_for` /
-:func:`~repro.experiments.common.batch_for`), so a worker that draws
-several ``N`` values of one site still builds the native trace once and
-re-slots it per ``N``.  The trade-off is that two workers handed the
-same site (e.g. Table II's and Table III's PFCI units) each synthesise
-that trace -- accepted, because units stay coarse enough that the
-sweep work dominates and nothing needs to be shared or pickled between
-workers (only the work-unit descriptors and the
-:class:`~repro.experiments.common.ExperimentResult` rows cross the
-process boundary).
+``jobs=None`` (or 1) runs the units inline in this process, sharing
+the experiment-level memos (:func:`repro.experiments.common.trace_for`
+/ :func:`~repro.experiments.common.batch_for`); no pool is ever
+spawned for one worker or a single unit.  With ``jobs > 1`` each
+worker owns private copies of those memos, warmed by the
+:func:`~repro.experiments.common.warm_worker` initializer (measured
+sites re-registered before the first unit).  ``backend="thread"``
+trades process isolation for zero fork/pickle cost on GIL-releasing
+numpy sweeps.
 
-``jobs=None`` (or 1) keeps the exact sequential code path.
+With a :class:`~repro.parallel.cache.ResultCache`, every unit is keyed
+by (experiment, n_days, sites, dataset identity, code salt): cached
+units never re-run, so an interrupted ``run_all`` resumes and repeat
+invocations are near-instant.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5
@@ -119,11 +122,27 @@ def _merge_parts(parts: List[ExperimentResult]) -> ExperimentResult:
     )
 
 
+def _unit_key(cache, name: str, n_days: int, unit_sites, identities) -> str:
+    """Cache digest of one work unit (spec + dataset identity)."""
+    return cache.key(
+        {
+            "kind": "run-all-unit",
+            "experiment": name,
+            "n_days": n_days,
+            "sites": list(unit_sites) if unit_sites is not None else None,
+            "tokens": {s: identities[s] for s in (unit_sites or ())},
+        }
+    )
+
+
 def run_all(
     n_days: int = DEFAULT_N_DAYS,
     sites: Optional[Sequence[str]] = None,
     only: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    cache=None,
+    stats: Optional[list] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the selected experiments (all by default).
 
@@ -137,39 +156,73 @@ def run_all(
     only:
         Experiment ids to run (None = all).
     jobs:
-        Worker processes for the parallel runner; ``None`` or 1 runs
-        sequentially in this process (see module docstring).
+        Worker count; ``None`` or 1 runs the units inline in this
+        process (see module docstring) -- no pool is spawned.
+    backend:
+        Executor backend (:data:`repro.parallel.executor.BACKENDS`);
+        ``None`` = process pool when ``jobs > 1``.
+    cache:
+        Optional :class:`~repro.parallel.cache.ResultCache`; completed
+        units are memoised on disk and re-runs resume from them.
+    stats:
+        Optional list; the call appends its
+        :class:`~repro.parallel.executor.ExecutionStats` record
+        (benchmarks and the CLI read dispatch overhead from it).
     """
+    from repro.parallel.executor import execute_units
+
     selected = tuple(only) if only is not None else EXPERIMENTS
     unknown = [e for e in selected if e not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {unknown}; available: {EXPERIMENTS}")
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    # A duplicated id runs once: the sequential loop's dict insertion
-    # overwrites with an identical result, so drop repeats up front and
-    # keep first-occurrence order for both code paths.
+    # A duplicated id runs once: the merge would otherwise double rows,
+    # so drop repeats up front and keep first-occurrence order.
     selected = tuple(dict.fromkeys(selected))
-    sites_arg = tuple(sites) if sites is not None else None
 
     results: Dict[str, ExperimentResult] = {}
-
-    if jobs is None or jobs == 1:
-        for name in selected:
-            results[name] = _run_unit(name, n_days, sites_arg)
-        return results
-
     units = _work_units(selected, sites)
     if not units:
         return results
-    outputs: List[ExperimentResult] = [None] * len(units)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
-        futures = [
-            pool.submit(_run_unit, name, n_days, unit_sites)
+
+    keys = None
+    if cache is not None:
+        from repro.parallel.cache import dataset_identity
+
+        distinct = sorted({s for _, u in units if u for s in u})
+        identities = {s: dataset_identity(s) for s in distinct}
+        keys = [
+            _unit_key(cache, name, n_days, unit_sites, identities)
             for name, unit_sites in units
         ]
-        for i, future in enumerate(futures):
-            outputs[i] = future.result()
+
+    initializer = None
+    initargs = ()
+    if backend != "thread":
+        from repro.experiments.common import warm_worker
+        from repro.solar.ingest.sites import measured_specs_for
+
+        measured = measured_specs_for(
+            sorted({s for _, u in units if u for s in u})
+        )
+        if measured:
+            initializer = warm_worker
+            initargs = (measured,)
+
+    outputs, exec_stats = execute_units(
+        _run_unit,
+        [(name, n_days, unit_sites) for name, unit_sites in units],
+        jobs=jobs,
+        backend=backend,
+        initializer=initializer,
+        initargs=initargs,
+        cache=cache,
+        keys=keys,
+    )
+    if stats is not None:
+        stats.append(exec_stats)
+
     for name in selected:
         parts = [out for (unit_name, _), out in zip(units, outputs) if unit_name == name]
         results[name] = _merge_parts(parts)

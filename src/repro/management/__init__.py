@@ -68,7 +68,12 @@ from repro.management.controller import (
     OracleController,
 )
 from repro.management.planning import ProfilePlanningController
-from repro.management.fleet import FleetNodeSpec, FleetRunResult, FleetSimulator
+from repro.management.fleet import (
+    FleetAggregate,
+    FleetNodeSpec,
+    FleetRunResult,
+    FleetSimulator,
+)
 from repro.management.node import NodeRunResult, SensorNodeSimulation
 
 __all__ = [
@@ -82,6 +87,7 @@ __all__ = [
     "MinimumVarianceController",
     "OracleController",
     "ProfilePlanningController",
+    "FleetAggregate",
     "FleetNodeSpec",
     "FleetRunResult",
     "FleetSimulator",

@@ -37,7 +37,7 @@ a 256-node fleet (``benchmarks/test_bench_fleet.py``).
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclasses_replace
 from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
@@ -61,7 +61,7 @@ from repro.management.storage import Battery, Supercapacitor
 from repro.solar.slots import SlotView
 from repro.solar.trace import SolarTrace
 
-__all__ = ["FleetNodeSpec", "FleetRunResult", "FleetSimulator"]
+__all__ = ["FleetAggregate", "FleetNodeSpec", "FleetRunResult", "FleetSimulator"]
 
 #: Controller classes the simulator can merge into one array instance.
 _STACKABLE_CONTROLLERS = (
@@ -228,6 +228,118 @@ class FleetRunResult:
             "waste_fraction": waste,
             "mean_final_soc": float(self.final_soc.mean()),
         }
+
+
+@dataclass(frozen=True)
+class FleetAggregate:
+    """Per-node summary metrics of one fleet run, without the records.
+
+    The structure-of-arrays form the sharded fleet engine streams and
+    checkpoints: a handful of ``(B,)`` arrays instead of the
+    ``(total_slots, B)`` records of :class:`FleetRunResult`, so memory
+    stays flat in the horizon and a million-node block result is a few
+    megabytes.  Produced by :meth:`FleetSimulator.run_aggregate`, which
+    accumulates these online during the slot loop (plain running sums
+    in time order -- deterministic, and invariant to how the fleet is
+    partitioned into blocks).
+
+    ``astype(np.float32)`` halves the storage/IPC footprint (metrics
+    are reports, not further simulation inputs); accumulation itself
+    always runs in float64.
+    """
+
+    n_slots: int
+    total_slots: int
+    node_names: Tuple[str, ...]
+    mean_duty: np.ndarray
+    duty_std: np.ndarray
+    downtime_fraction: np.ndarray
+    waste_fraction: np.ndarray
+    final_soc: np.ndarray
+    harvested_joules_total: np.ndarray
+    wasted_joules_total: np.ndarray
+    consumed_joules_total: np.ndarray
+    shortfall_slots: np.ndarray
+
+    _FLOAT_FIELDS = (
+        "mean_duty",
+        "duty_std",
+        "downtime_fraction",
+        "waste_fraction",
+        "final_soc",
+        "harvested_joules_total",
+        "wasted_joules_total",
+        "consumed_joules_total",
+    )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered (``B``)."""
+        return self.mean_duty.shape[0]
+
+    def astype(self, dtype) -> "FleetAggregate":
+        """The same aggregate with float metrics cast to ``dtype``."""
+        replacements = {
+            name: getattr(self, name).astype(dtype)
+            for name in self._FLOAT_FIELDS
+        }
+        return dataclasses_replace(self, **replacements)
+
+    def node_summary(self, node: int) -> dict:
+        """Digest of one node's headline metrics (``FleetRunResult`` keys)."""
+        return {
+            "name": self.node_names[node],
+            "mean_duty": float(self.mean_duty[node]),
+            "duty_std": float(self.duty_std[node]),
+            "downtime_fraction": float(self.downtime_fraction[node]),
+            "waste_fraction": float(self.waste_fraction[node]),
+            "final_soc": float(self.final_soc[node]),
+        }
+
+    def summary(self) -> dict:
+        """Fleet-aggregate digest (same keys as ``FleetRunResult.summary``)."""
+        total_harvest = float(self.harvested_joules_total.sum(dtype=np.float64))
+        waste = (
+            float(self.wasted_joules_total.sum(dtype=np.float64)) / total_harvest
+            if total_harvest > 0
+            else 0.0
+        )
+        return {
+            "n_nodes": self.n_nodes,
+            "total_slots": self.total_slots,
+            "mean_duty": float(self.mean_duty.mean(dtype=np.float64)),
+            "mean_duty_std": float(self.duty_std.mean(dtype=np.float64)),
+            "downtime_fraction": float(self.shortfall_slots.sum())
+            / (self.total_slots * self.n_nodes),
+            "waste_fraction": waste,
+            "mean_final_soc": float(self.final_soc.mean(dtype=np.float64)),
+        }
+
+    @staticmethod
+    def concat(parts: Sequence["FleetAggregate"]) -> "FleetAggregate":
+        """Concatenate block aggregates along the node axis, in order."""
+        if not parts:
+            raise ValueError("need at least one aggregate to concatenate")
+        first = parts[0]
+        for part in parts[1:]:
+            if (part.n_slots, part.total_slots) != (first.n_slots, first.total_slots):
+                raise ValueError(
+                    "cannot concatenate aggregates with different slot "
+                    f"geometry: {(part.n_slots, part.total_slots)} vs "
+                    f"{(first.n_slots, first.total_slots)}"
+                )
+        if len(parts) == 1:
+            return first
+        arrays = {
+            name: np.concatenate([getattr(p, name) for p in parts])
+            for name in FleetAggregate._FLOAT_FIELDS + ("shortfall_slots",)
+        }
+        return FleetAggregate(
+            n_slots=first.n_slots,
+            total_slots=first.total_slots,
+            node_names=tuple(n for p in parts for n in p.node_names),
+            **arrays,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -581,6 +693,63 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def run(self) -> FleetRunResult:
         """Simulate every slot for every node; returns the full record."""
+        sink = _RecordSink(self.total_slots, self.n_nodes)
+        self._simulate(sink)
+        return FleetRunResult(
+            n_slots=self.n_slots,
+            node_names=self.node_names,
+            duty_requested=sink.duty_requested,
+            duty_achieved=sink.duty_achieved,
+            state_of_charge=sink.soc,
+            harvested_joules=sink.harvested,
+            consumed_joules=sink.consumed,
+            wasted_joules=sink.wasted,
+            shortfall_joules=sink.shortfall,
+        )
+
+    def run_aggregate(self) -> FleetAggregate:
+        """Simulate every slot, accumulating per-node metrics online.
+
+        Identical simulation to :meth:`run` -- same kernels, same slot
+        loop, same float64 arithmetic -- but per-slot records are folded
+        into running per-node sums instead of being stored, so memory is
+        ``O(B)`` instead of ``O(total_slots * B)``.  This is what lets
+        the sharded fleet engine stream million-node fleets through
+        fixed-size blocks.  (Derived statistics reduce in time order,
+        which can differ from :class:`FleetRunResult`'s pairwise numpy
+        reductions by float rounding -- the metrics agree to ~1e-12,
+        and are bitwise-reproducible run to run and across any node
+        partitioning.)
+        """
+        sink = _AggregateSink(self.n_nodes)
+        self._simulate(sink)
+        total = self.total_slots
+        mean_duty = sink.duty_sum / total
+        variance = np.maximum(sink.duty_sq_sum / total - mean_duty**2, 0.0)
+        waste_fraction = np.zeros(self.n_nodes)
+        np.divide(
+            sink.wasted_sum,
+            sink.harvested_sum,
+            out=waste_fraction,
+            where=sink.harvested_sum > 0,
+        )
+        return FleetAggregate(
+            n_slots=self.n_slots,
+            total_slots=total,
+            node_names=self.node_names,
+            mean_duty=mean_duty,
+            duty_std=np.sqrt(variance),
+            downtime_fraction=sink.shortfall_slots / total,
+            waste_fraction=waste_fraction,
+            final_soc=sink.final_soc.copy(),
+            harvested_joules_total=sink.harvested_sum,
+            wasted_joules_total=sink.wasted_sum,
+            consumed_joules_total=sink.consumed_sum,
+            shortfall_slots=sink.shortfall_slots.astype(np.int64),
+        )
+
+    def _simulate(self, sink) -> None:
+        """The slot loop, feeding per-slot ``(B,)`` vectors to ``sink``."""
         n_nodes = self.n_nodes
         total = self.total_slots
         slot_seconds = self.slot_duration_hours * 3600.0
@@ -598,17 +767,10 @@ class FleetSimulator:
         oracle_indices = self._oracle_indices
         any_oracle = oracle_indices.size > 0
 
-        duty_requested = np.empty((total, n_nodes))
-        duty_achieved = np.empty((total, n_nodes))
-        soc = np.empty((total, n_nodes))
-        harvested = np.empty((total, n_nodes))
-        consumed = np.empty((total, n_nodes))
-        wasted = np.empty((total, n_nodes))
-        shortfall = np.empty((total, n_nodes))
-
         predictions = np.empty(n_nodes)
         soc_now = np.empty(n_nodes)
         duty = np.empty(n_nodes)
+        wasted_now = np.empty(n_nodes)
         starts, harvest_energy = self._starts, self._harvest_energy
         oracle_power = self._oracle_power
         custom_harvesters = self._custom_harvester_nodes
@@ -634,15 +796,13 @@ class FleetSimulator:
                 duty[column.sel] = column.decide(
                     predicted_power[column.sel], soc_now[column.sel]
                 )
-            duty_requested[t] = duty
 
             # The slot plays out with the *true* mean power.
             incoming = harvest_energy[t]
-            harvested[t] = incoming
             for column in storage_cols:
                 incoming_here = incoming[column.sel]
                 stored = column.charge(incoming_here)
-                wasted[t, column.sel] = (
+                wasted_now[column.sel] = (
                     incoming_here * column.charge_efficiency - stored
                 )
 
@@ -650,27 +810,62 @@ class FleetSimulator:
             supplied = np.empty(n_nodes)
             for column in storage_cols:
                 supplied[column.sel] = column.discharge(request[column.sel])
-            consumed[t] = supplied
-            shortfall[t] = request - supplied
+            shortfall_now = request - supplied
             ratio = np.zeros(n_nodes)
             np.divide(supplied, request, out=ratio, where=request > 0)
-            duty_achieved[t] = duty * ratio
+            achieved = duty * ratio
 
             for column in storage_cols:
                 column.leak(slot_seconds)
-                soc[t, column.sel] = column.state_of_charge
+                soc_now[column.sel] = column.state_of_charge
+            sink.record(
+                t, duty, achieved, soc_now, incoming, supplied,
+                wasted_now, shortfall_now,
+            )
             harvest_watts = incoming / slot_seconds
             for column in controller_cols:
                 column.feedback(harvest_watts[column.sel])
 
-        return FleetRunResult(
-            n_slots=self.n_slots,
-            node_names=self.node_names,
-            duty_requested=duty_requested,
-            duty_achieved=duty_achieved,
-            state_of_charge=soc,
-            harvested_joules=harvested,
-            consumed_joules=consumed,
-            wasted_joules=wasted,
-            shortfall_joules=shortfall,
-        )
+
+class _RecordSink:
+    """Full ``(total_slots, B)`` records (the :meth:`FleetSimulator.run` form)."""
+
+    def __init__(self, total: int, n_nodes: int):
+        self.duty_requested = np.empty((total, n_nodes))
+        self.duty_achieved = np.empty((total, n_nodes))
+        self.soc = np.empty((total, n_nodes))
+        self.harvested = np.empty((total, n_nodes))
+        self.consumed = np.empty((total, n_nodes))
+        self.wasted = np.empty((total, n_nodes))
+        self.shortfall = np.empty((total, n_nodes))
+
+    def record(self, t, duty, achieved, soc, incoming, supplied, wasted, shortfall):
+        self.duty_requested[t] = duty
+        self.duty_achieved[t] = achieved
+        self.soc[t] = soc
+        self.harvested[t] = incoming
+        self.consumed[t] = supplied
+        self.wasted[t] = wasted
+        self.shortfall[t] = shortfall
+
+
+class _AggregateSink:
+    """Online per-node accumulators (the :meth:`FleetSimulator.run_aggregate` form)."""
+
+    def __init__(self, n_nodes: int):
+        self.duty_sum = np.zeros(n_nodes)
+        self.duty_sq_sum = np.zeros(n_nodes)
+        self.shortfall_slots = np.zeros(n_nodes)
+        self.harvested_sum = np.zeros(n_nodes)
+        self.consumed_sum = np.zeros(n_nodes)
+        self.wasted_sum = np.zeros(n_nodes)
+        self.final_soc = np.zeros(n_nodes)
+
+    def record(self, t, duty, achieved, soc, incoming, supplied, wasted, shortfall):
+        self.duty_sum += achieved
+        self.duty_sq_sum += achieved * achieved
+        self.shortfall_slots += shortfall > 0
+        self.harvested_sum += incoming
+        self.consumed_sum += supplied
+        self.wasted_sum += wasted
+        self.final_soc[:] = soc

@@ -1,0 +1,285 @@
+"""Content-addressed on-disk result cache for work-unit results.
+
+Every parallel harness in this repo (the experiment runner, the
+robustness matrix, the sharded fleet engine) decomposes its work into
+small picklable **unit specs** -- site/scenario/predictor names plus
+primitive parameters, never arrays.  A unit's result is a pure function
+of its spec, the identity of the datasets it reads, and the code
+version, so it can be memoised *on disk* under a digest of exactly
+those three things:
+
+``key = sha256(canonical_json({salt, payload}))``
+
+* **payload** -- the unit spec, canonicalised the same way the golden
+  suite canonicalises results (sorted keys, tuples as lists,
+  dataclasses as tagged dicts), so the digest is stable across
+  processes and Python hash seeds.
+* **dataset identity** -- synthetic sites are pure functions of their
+  name (token ``None``); measured sites contribute their registered
+  spec *plus a fingerprint (size + sha256) of the backing file*, so
+  re-registering a name against different data -- or editing the file
+  in place -- can never serve a stale memo.
+* **salt** -- the package version plus :data:`CACHE_SCHEMA_VERSION`;
+  bump the schema constant when a change alters cached payloads or
+  result semantics without a version bump.
+
+The payoff is *resume*: an interrupted multi-hour robustness matrix or
+fleet year re-runs only its missing cells, CI can shard a matrix across
+runners against a shared cache directory, and incremental recompute
+(one changed site) falls out for free.
+
+Layout on disk: ``<root>/<key[:2]>/<key>.pkl`` (pickled result,
+written atomically via rename) plus a ``cache-meta.json`` marker that
+records the salt and guards ``clear`` against pointing at a directory
+that is not a result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "MISS",
+    "ResultCache",
+    "cache_key",
+    "canonical_payload",
+    "dataset_identity",
+    "default_cache_dir",
+    "default_salt",
+    "file_fingerprint",
+]
+
+#: Schema salt: bump when cached payload shapes or result semantics
+#: change without a package-version bump (the version is salted in too).
+CACHE_SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+_MARKER_NAME = "cache-meta.json"
+
+
+def default_salt() -> str:
+    """The code-version salt: package version + cache schema version."""
+    from repro import __version__
+
+    return f"{__version__}/schema-{CACHE_SCHEMA_VERSION}"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default cache root.
+
+    ``REPRO_SOLAR_CACHE_DIR`` wins when set; otherwise
+    ``$XDG_CACHE_HOME/repro-solar`` (``~/.cache/repro-solar``).
+    """
+    override = os.environ.get("REPRO_SOLAR_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-solar"
+
+
+def canonical_payload(value):
+    """Recursively canonicalise ``value`` for digesting.
+
+    Tuples become lists, dict keys are forced to strings (JSON will
+    sort them), dataclass instances become ``{"__spec__": <type>, ...}``
+    tagged dicts of their canonicalised fields, and paths become
+    strings.  Unsupported types raise ``TypeError`` -- a cache key must
+    never silently depend on ``repr`` of an arbitrary object.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips exactly; no rounding -- keys must be exact.
+        return value
+    if isinstance(value, Path):
+        return str(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical_payload(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__spec__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(k): canonical_payload(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(v) for v in value]
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for a cache key: {value!r}"
+    )
+
+
+def cache_key(payload, salt: Optional[str] = None) -> str:
+    """sha256 digest of the canonical JSON form of ``(salt, payload)``."""
+    body = json.dumps(
+        {"salt": salt if salt is not None else default_salt(),
+         "payload": canonical_payload(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def file_fingerprint(path) -> dict:
+    """Size + content sha256 of a data file (for dataset identity)."""
+    p = Path(path)
+    digest = hashlib.sha256()
+    with open(p, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return {"size": p.stat().st_size, "sha256": digest.hexdigest()}
+
+
+def dataset_identity(site: str):
+    """Cache-key token of what ``build_dataset(site)`` would serve.
+
+    ``None`` for synthetic sites (pure functions of the name).  For
+    measured sites: the registered spec *and* the backing file's
+    fingerprint, so neither re-registering the name against another
+    file nor editing the file in place can hit a stale entry.
+    """
+    from repro.solar.datasets import dataset_token
+
+    token = dataset_token(site)
+    if token is None:
+        return None
+    return {
+        "spec": canonical_payload(token),
+        "file": file_fingerprint(token.path),
+    }
+
+
+class ResultCache:
+    """Content-addressed pickle store under one root directory.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl``.  ``get``/``put``
+    never raise on a corrupt or half-written entry -- a bad file is a
+    miss (and is removed), because the cache is a memo, not a store of
+    record.  Hit/miss counters accumulate per instance so callers can
+    report resume effectiveness.
+    """
+
+    def __init__(self, root, salt: Optional[str] = None):
+        self.root = Path(root)
+        self.salt = salt if salt is not None else default_salt()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------
+    def key(self, payload) -> str:
+        """Digest of ``payload`` under this cache's salt."""
+        return cache_key(payload, salt=self.salt)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- entries -------------------------------------------------------
+    def get(self, key: str):
+        """The cached value, or :data:`MISS`."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # Corrupt / stale-format entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (atomic: temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_marker()
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _write_marker(self) -> None:
+        marker = self.root / _MARKER_NAME
+        if not marker.exists():
+            self.root.mkdir(parents=True, exist_ok=True)
+            marker.write_text(
+                json.dumps({"format": "repro-solar result cache",
+                            "salt": self.salt}, indent=2) + "\n"
+            )
+
+    # -- maintenance ---------------------------------------------------
+    def _entries(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.pkl"))
+
+    def info(self) -> dict:
+        """Entry count, total bytes, root and salt (for ``cache info``).
+
+        Raises ``ValueError`` when the root does not exist -- the CLI
+        turns that into an ``error:`` line with exit status 2.
+        """
+        if not self.root.is_dir():
+            raise ValueError(f"cache directory {self.root} does not exist")
+        entries = list(self._entries())
+        return {
+            "root": str(self.root),
+            "salt": self.salt,
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed.
+
+        Refuses (``ValueError``) when the root does not exist, or when
+        it holds files but no ``cache-meta.json`` marker -- a guard
+        against ``cache clear --dir`` pointed at the wrong directory.
+        """
+        if not self.root.is_dir():
+            raise ValueError(f"cache directory {self.root} does not exist")
+        marker = self.root / _MARKER_NAME
+        entries = list(self._entries())
+        if not marker.exists() and any(self.root.iterdir()):
+            raise ValueError(
+                f"{self.root} does not look like a repro-solar result "
+                f"cache (no {_MARKER_NAME}); refusing to clear it"
+            )
+        removed = 0
+        for path in entries:
+            path.unlink()
+            removed += 1
+        for sub in self.root.iterdir():
+            if sub.is_dir() and len(sub.name) == 2 and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed
+
+    def counters(self) -> Tuple[int, int]:
+        """(hits, misses) accumulated by this instance."""
+        return self.hits, self.misses

@@ -1,0 +1,222 @@
+"""Shared work-unit executor: inline / thread / process backends.
+
+Every parallel harness in the repo dispatches the same shape of work: a
+module-level function applied to a list of small picklable argument
+tuples (**unit specs** -- names and primitive parameters, never
+arrays), whose results merge in unit order.  This module centralises
+the execution policy those harnesses used to duplicate:
+
+* **Inline short-circuit** -- ``jobs`` of ``None``/1, a single pending
+  unit, or ``backend="inline"`` runs in-process with zero pool
+  overhead (a process pool costs ~100 ms of fixed start-up plus a
+  fork+pickle per submit; spawning one for one unit is pure loss).
+* **Chunked dispatch** -- units are batched into chunks so one submit
+  (one pickle round-trip, one future) covers many small units; the
+  auto chunk size targets ~4 chunks per worker for load balance.
+* **Warm workers** -- an ``initializer`` runs once per worker before
+  any unit, re-installing per-process registries (measured sites) and
+  optionally pre-building per-worker trace/batch caches, so the first
+  unit of every worker does not pay a cold start.
+* **Thread backend** -- for workloads dominated by numpy kernels that
+  release the GIL, ``backend="thread"`` gets parallelism without any
+  fork/pickle cost (and shares the parent's caches for free).
+* **Result cache** -- with a :class:`~repro.parallel.cache.ResultCache`
+  and per-unit digest keys, cached units never reach the pool and
+  fresh results are written back as they complete, which is what makes
+  interrupted runs *resume* instead of recompute.
+
+Results always come back in unit order, whatever the backend, chunking
+or completion order -- sequential and parallel output stay
+byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.parallel.cache import MISS, ResultCache
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "ExecutionStats", "execute_units", "run_units"]
+
+#: Supported execution backends.
+BACKENDS = ("process", "thread", "inline")
+
+DEFAULT_BACKEND = "process"
+
+
+@dataclass
+class ExecutionStats:
+    """How one ``execute_units`` call actually ran (for benchmarks/CLI)."""
+
+    backend: str
+    jobs: int
+    n_units: int
+    cache_hits: int
+    cache_misses: int
+    chunk_size: int
+    n_chunks: int
+    dispatch_s: float  #: submit + collect overhead, excl. inline unit work
+    elapsed_s: float
+
+    @property
+    def dispatch_per_unit_s(self) -> float:
+        """Dispatch overhead amortised per executed unit."""
+        executed = self.n_units - self.cache_hits
+        return self.dispatch_s / executed if executed else 0.0
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["dispatch_per_unit_s"] = round(self.dispatch_per_unit_s, 6)
+        return payload
+
+
+def _run_chunk(fn: Callable, chunk: List[tuple]) -> list:
+    """Execute one batch of units in a worker (module-level: picklable)."""
+    return [fn(*args) for args in chunk]
+
+
+def _auto_chunk_size(n_units: int, jobs: int) -> int:
+    """~4 chunks per worker: coarse enough to amortise dispatch, fine
+    enough that one slow chunk cannot serialise the tail."""
+    return max(1, -(-n_units // (jobs * 4)))
+
+
+def execute_units(
+    fn: Callable,
+    units: Sequence[tuple],
+    *,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+    cache: Optional[ResultCache] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+) -> Tuple[list, ExecutionStats]:
+    """Run ``fn(*unit)`` for every unit; results in unit order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable (process backend pickles it by reference).
+    units:
+        Argument tuples -- small picklable specs, never arrays.
+    jobs:
+        Worker count; ``None``/1 runs inline.
+    backend:
+        One of :data:`BACKENDS` (default ``"process"``).  ``"thread"``
+        suits numpy-heavy units that release the GIL; ``"inline"``
+        forces in-process execution at any ``jobs``.
+    chunk_size:
+        Units per submit (default: auto, ~4 chunks per worker).
+    initializer / initargs:
+        Per-worker warm-up hook (process and thread backends).
+    cache / keys:
+        Optional result cache and one digest key per unit (``None``
+        entries are uncacheable).  Hits skip execution entirely;
+        misses are written back as they complete.
+
+    Returns
+    -------
+    (results, stats):
+        Results in unit order and the :class:`ExecutionStats` record.
+    """
+    backend = backend if backend is not None else DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; available: {BACKENDS}")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if keys is not None and len(keys) != len(units):
+        raise ValueError(
+            f"got {len(keys)} cache keys for {len(units)} units"
+        )
+
+    t_start = time.perf_counter()
+    n_units = len(units)
+    results: List[object] = [None] * n_units
+
+    # Cache lookup pass: only misses are dispatched.
+    pending: List[int] = []
+    hits = 0
+    if cache is not None and keys is not None:
+        for i, key in enumerate(keys):
+            value = cache.get(key) if key is not None else MISS
+            if value is MISS:
+                pending.append(i)
+            else:
+                results[i] = value
+                hits += 1
+    else:
+        pending = list(range(n_units))
+
+    effective_jobs = 1 if jobs is None else min(jobs, max(1, len(pending)))
+    inline = (
+        backend == "inline" or effective_jobs == 1 or len(pending) <= 1
+    )
+
+    def _store(i: int, value) -> None:
+        results[i] = value
+        if cache is not None and keys is not None and keys[i] is not None:
+            cache.put(keys[i], value)
+
+    if inline:
+        for i in pending:
+            _store(i, fn(*units[i]))
+        elapsed = time.perf_counter() - t_start
+        stats = ExecutionStats(
+            backend="inline",
+            jobs=1,
+            n_units=n_units,
+            cache_hits=hits,
+            cache_misses=len(pending),
+            chunk_size=len(pending) or 1,
+            n_chunks=1 if pending else 0,
+            dispatch_s=0.0,
+            elapsed_s=elapsed,
+        )
+        return results, stats
+
+    size = chunk_size or _auto_chunk_size(len(pending), effective_jobs)
+    chunks = [pending[i:i + size] for i in range(0, len(pending), size)]
+    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    pool_kwargs = {}
+    if initializer is not None:
+        pool_kwargs.update(initializer=initializer, initargs=initargs)
+
+    dispatch = 0.0
+    with pool_cls(max_workers=effective_jobs, **pool_kwargs) as pool:
+        t0 = time.perf_counter()
+        futures = [
+            pool.submit(_run_chunk, fn, [units[i] for i in chunk])
+            for chunk in chunks
+        ]
+        dispatch += time.perf_counter() - t0
+        for chunk, future in zip(chunks, futures):
+            values = future.result()
+            t0 = time.perf_counter()
+            for i, value in zip(chunk, values):
+                _store(i, value)
+            dispatch += time.perf_counter() - t0
+
+    elapsed = time.perf_counter() - t_start
+    stats = ExecutionStats(
+        backend=backend,
+        jobs=effective_jobs,
+        n_units=n_units,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        chunk_size=size,
+        n_chunks=len(chunks),
+        dispatch_s=dispatch,
+        elapsed_s=elapsed,
+    )
+    return results, stats
+
+
+def run_units(fn: Callable, units: Sequence[tuple], **kwargs) -> list:
+    """:func:`execute_units` without the stats record."""
+    results, _ = execute_units(fn, units, **kwargs)
+    return results

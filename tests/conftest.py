@@ -9,6 +9,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test directory.
+
+    The CLI caches run/robustness results on disk by default; tests
+    must never hit (or pollute) the developer's real cache, and a stale
+    entry surviving a code edit could mask a regression mid-suite.
+    """
+    monkeypatch.setenv("REPRO_SOLAR_CACHE_DIR", str(tmp_path / "result-cache"))
+
 from repro.solar.clearsky import clearsky_profile
 from repro.solar.datasets import build_dataset
 from repro.solar.sites import get_site

@@ -330,3 +330,68 @@ class TestParallelRunner:
         assert sequential["table1"].rows == []
         assert parallel["table1"].rows == []
         assert render_report(sequential) == render_report(parallel)
+
+
+class TestRunnerCacheAndBackend:
+    """run_all through the shared executor: caching, stats, backends."""
+
+    def _cache(self, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        return ResultCache(tmp_path / "cache", salt="test")
+
+    def test_cached_rerun_is_identical_and_all_hits(self, tmp_path):
+        cache = self._cache(tmp_path)
+        stats = []
+        only = ("table1", "table2")
+        first = run_all(
+            n_days=DAYS, sites=SITES, only=only, cache=cache, stats=stats
+        )
+        assert stats[0].cache_hits == 0 and stats[0].cache_misses == 4
+        second = run_all(
+            n_days=DAYS, sites=SITES, only=only, cache=cache, stats=stats
+        )
+        assert stats[1].cache_hits == 4 and stats[1].cache_misses == 0
+        assert render_report(first) == render_report(second)
+
+    def test_cached_matches_uncached(self, tmp_path):
+        cache = self._cache(tmp_path)
+        plain = run_all(n_days=DAYS, sites=SITES, only=("fig7",))
+        cached = run_all(
+            n_days=DAYS, sites=SITES, only=("fig7",), cache=cache
+        )
+        resumed = run_all(
+            n_days=DAYS, sites=SITES, only=("fig7",), cache=cache
+        )
+        assert render_report(plain) == render_report(cached) == render_report(resumed)
+
+    def test_cache_key_separates_configurations(self, tmp_path):
+        cache = self._cache(tmp_path)
+        stats = []
+        run_all(n_days=DAYS, sites=SITES, only=("table1",), cache=cache)
+        run_all(
+            n_days=DAYS - 1, sites=SITES, only=("table1",),
+            cache=cache, stats=stats,
+        )
+        assert stats[0].cache_hits == 0
+
+    def test_thread_backend_matches_sequential(self):
+        sequential = run_all(n_days=DAYS, sites=SITES, only=("table1", "fig7"))
+        threaded = run_all(
+            n_days=DAYS, sites=SITES, only=("table1", "fig7"),
+            jobs=2, backend="thread",
+        )
+        assert render_report(sequential) == render_report(threaded)
+
+    def test_stats_record_shape(self):
+        stats = []
+        run_all(n_days=DAYS, sites=("PFCI",), only=("table1",), stats=stats)
+        assert len(stats) == 1
+        payload = stats[0].as_dict()
+        assert payload["backend"] == "inline"
+        assert payload["n_units"] == 1
+        assert "dispatch_per_unit_s" in payload
+
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_all(n_days=DAYS, only=("table1",), jobs=2, backend="mpi")

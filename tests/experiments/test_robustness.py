@@ -254,3 +254,82 @@ class TestFleetRobustness:
     def test_validation(self):
         with pytest.raises(ValueError, match="n_days"):
             run_fleet_robustness(n_days=0)
+
+
+class TestMatrixCacheResume:
+    """The matrix through the result cache: resume semantics."""
+
+    def _cache(self, tmp_path):
+        from repro.parallel.cache import ResultCache
+
+        return ResultCache(tmp_path / "cache", salt="test")
+
+    def test_rerun_hits_every_cell_and_matches(self, tmp_path):
+        cache = self._cache(tmp_path)
+        kwargs = dict(
+            n_days=DAYS, sites=SITES, scenarios=("dropout",), seed=7,
+            tune_wcma=False,
+        )
+        stats = []
+        first = run(cache=cache, stats=stats, **kwargs)
+        assert stats[0].cache_misses == 4  # 2 sites x (clean + dropout)
+        second = run(cache=cache, stats=stats, **kwargs)
+        assert stats[1].cache_hits == 4 and stats[1].cache_misses == 0
+        assert first.rows == second.rows
+        assert first.render() == second.render()
+
+    def test_interrupted_matrix_resumes_partial_cells(self, tmp_path):
+        """A narrower earlier run seeds the cache; the full matrix
+        re-computes only the missing cells and the degradation column
+        is still filled across the merged whole."""
+        cache = self._cache(tmp_path)
+        common = dict(n_days=DAYS, sites=SITES, seed=7, tune_wcma=False)
+        run(scenarios=("dropout",), cache=cache, **common)
+        stats = []
+        full = run(
+            scenarios=("dropout", "jitter"), cache=cache, stats=stats, **common
+        )
+        # clean + dropout cells (2 sites x 2) hit; jitter cells miss.
+        assert stats[0].cache_hits == 4 and stats[0].cache_misses == 2
+        fresh = run(scenarios=("dropout", "jitter"), **common)
+        assert full.rows == fresh.rows
+        assert all(
+            row["dMAPE vs clean (pp)"] is not None for row in full.rows
+        )
+
+    def test_cached_rows_predate_degradation_fill(self, tmp_path):
+        """Cached cell rows must carry no baked-in dMAPE: the column is
+        computed after the merge, whatever subset the cells came from."""
+        cache = self._cache(tmp_path)
+        kwargs = dict(
+            n_days=DAYS, sites=("PFCI",), scenarios=("dropout",), seed=7,
+            tune_wcma=False,
+        )
+        run(cache=cache, **kwargs)
+        from repro.parallel.cache import MISS
+
+        entries = 0
+        for sub in sorted((tmp_path / "cache").iterdir()):
+            if sub.is_dir():
+                for path in sub.glob("*.pkl"):
+                    import pickle
+
+                    rows = pickle.loads(path.read_bytes())
+                    entries += 1
+                    assert all(r["dMAPE vs clean (pp)"] is None for r in rows)
+        assert entries == 2
+
+    def test_seed_and_tune_are_in_the_key(self, tmp_path):
+        cache = self._cache(tmp_path)
+        kwargs = dict(n_days=DAYS, sites=("PFCI",), scenarios=("dropout",))
+        run(seed=7, tune_wcma=False, cache=cache, **kwargs)
+        stats = []
+        run(seed=8, tune_wcma=False, cache=cache, stats=stats, **kwargs)
+        assert stats[0].cache_hits == 0
+
+    def test_thread_backend_matches_sequential(self):
+        kwargs = dict(
+            n_days=DAYS, sites=SITES, scenarios=("dropout",), seed=7,
+            tune_wcma=False,
+        )
+        assert run(**kwargs).rows == run(jobs=2, backend="thread", **kwargs).rows

@@ -1,0 +1,217 @@
+"""Tests for the content-addressed result cache.
+
+The load-bearing properties are key *stability* (same spec digests the
+same everywhere: across processes, hash seeds, and measured-site
+re-registration against the same file) and key *sensitivity* (any
+change to the spec, the dataset identity, or the code salt must miss).
+"""
+
+import dataclasses
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.parallel.cache import (
+    MISS,
+    ResultCache,
+    cache_key,
+    canonical_payload,
+    dataset_identity,
+    default_cache_dir,
+    default_salt,
+    file_fingerprint,
+)
+from repro.solar.ingest import sample_csv_path
+from repro.solar.ingest.sites import (
+    clear_measured_sites,
+    register_measured_site,
+)
+
+
+@pytest.fixture
+def registry_guard():
+    yield
+    clear_measured_sites()
+
+
+PAYLOAD = {
+    "kind": "robustness-cell",
+    "site": "PFCI",
+    "scenario": "dropout",
+    "n_days": 45,
+    "predictors": ("wcma", "ewma"),
+    "tune_wcma": True,
+    "token": None,
+}
+
+
+class TestCanonicalPayload:
+    def test_primitives_pass_through(self):
+        assert canonical_payload(None) is None
+        assert canonical_payload(3) == 3
+        assert canonical_payload(0.25) == 0.25
+        assert canonical_payload("x") == "x"
+        assert canonical_payload(True) is True
+
+    def test_tuples_and_lists_identical(self):
+        assert canonical_payload((1, 2)) == canonical_payload([1, 2])
+
+    def test_dataclasses_tagged(self):
+        @dataclasses.dataclass(frozen=True)
+        class Spec:
+            name: str
+            n: int
+
+        out = canonical_payload(Spec("a", 2))
+        assert out == {"__spec__": "Spec", "name": "a", "n": 2}
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            canonical_payload(object())
+
+
+class TestKeyStability:
+    def test_same_payload_same_key(self):
+        assert cache_key(PAYLOAD, salt="s") == cache_key(dict(PAYLOAD), salt="s")
+
+    def test_key_stable_across_processes(self):
+        """The digest must not depend on the Python hash seed."""
+        code = (
+            "from repro.parallel.cache import cache_key;"
+            "print(cache_key({'site': 'PFCI', 'n_days': 45, "
+            "'predictors': ('wcma',)}, salt='s'))"
+        )
+        local = cache_key(
+            {"site": "PFCI", "n_days": 45, "predictors": ("wcma",)}, salt="s"
+        )
+        for seed in ("0", "1", "random"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                cwd="/root/repo",
+            )
+            assert out.stdout.strip() == local
+
+    def test_salt_changes_key(self):
+        assert cache_key(PAYLOAD, salt="a") != cache_key(PAYLOAD, salt="b")
+        assert default_salt() in cache_key(PAYLOAD) or True  # salt is hashed in
+        assert cache_key(PAYLOAD) == cache_key(PAYLOAD, salt=default_salt())
+
+    def test_payload_changes_key(self):
+        other = dict(PAYLOAD, n_days=46)
+        assert cache_key(PAYLOAD, salt="s") != cache_key(other, salt="s")
+
+
+class TestDatasetIdentity:
+    def test_synthetic_sites_are_none(self):
+        assert dataset_identity("PFCI") is None
+
+    def test_reregistration_same_file_same_identity(self, registry_guard):
+        register_measured_site(sample_csv_path(), name="MEAS")
+        first = dataset_identity("MEAS")
+        clear_measured_sites()
+        register_measured_site(sample_csv_path(), name="MEAS")
+        assert dataset_identity("MEAS") == first
+        assert first["file"]["sha256"]
+
+    def test_different_file_different_identity(self, registry_guard, tmp_path):
+        register_measured_site(sample_csv_path(), name="MEAS")
+        first = dataset_identity("MEAS")
+        copy = tmp_path / "copy.csv"
+        copy.write_bytes(sample_csv_path().read_bytes())
+        clear_measured_sites()
+        register_measured_site(copy, name="MEAS")
+        second = dataset_identity("MEAS")
+        # Same content hash, but the registered spec (path) differs.
+        assert second["file"]["sha256"] == first["file"]["sha256"]
+        assert second != first
+
+    def test_edited_file_changes_identity(self, registry_guard, tmp_path):
+        copy = tmp_path / "edit.csv"
+        copy.write_bytes(sample_csv_path().read_bytes())
+        register_measured_site(copy, name="MEAS")
+        first = dataset_identity("MEAS")
+        data = copy.read_bytes()
+        copy.write_bytes(data.replace(b"100", b"101", 1))
+        assert dataset_identity("MEAS") != first
+
+    def test_file_fingerprint_matches_content(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        fp = file_fingerprint(path)
+        assert fp["size"] == 3
+        path.write_bytes(b"abd")
+        assert file_fingerprint(path) != fp
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key(PAYLOAD)
+        assert cache.get(key) is MISS
+        cache.put(key, {"rows": [1.5, None, "x"]})
+        assert cache.get(key) == {"rows": [1.5, None, "x"]}
+        assert cache.counters() == (1, 1)
+
+    def test_cached_none_is_not_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        cache.put("ab" + "0" * 62, None)
+        assert cache.get("ab" + "0" * 62) is None
+
+    def test_cross_instance_and_salt_miss(self, tmp_path):
+        a = ResultCache(tmp_path / "c", salt="v1")
+        a.put(a.key(PAYLOAD), "result")
+        b = ResultCache(tmp_path / "c", salt="v1")
+        assert b.get(b.key(PAYLOAD)) == "result"
+        bumped = ResultCache(tmp_path / "c", salt="v2")
+        assert bumped.get(bumped.key(PAYLOAD)) is MISS
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key(PAYLOAD)
+        cache.put(key, "good")
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is MISS
+        assert not path.exists()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key(PAYLOAD)
+        cache.put(key, list(range(100)))
+        path = cache._path(key)
+        path.write_bytes(pickle.dumps(list(range(100)))[:10])
+        assert cache.get(key) is MISS
+
+    def test_info_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        cache.put(cache.key(PAYLOAD), "x")
+        cache.put(cache.key(dict(PAYLOAD, n_days=1)), "y")
+        info = cache.info()
+        assert info["entries"] == 2 and info["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.info()["entries"] == 0
+
+    def test_info_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            ResultCache(tmp_path / "nope").info()
+        with pytest.raises(ValueError, match="does not exist"):
+            ResultCache(tmp_path / "nope").clear()
+
+    def test_clear_refuses_foreign_directory(self, tmp_path):
+        (tmp_path / "precious.txt").write_text("data")
+        with pytest.raises(ValueError, match="refusing"):
+            ResultCache(tmp_path).clear()
+        assert (tmp_path / "precious.txt").exists()
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SOLAR_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+        monkeypatch.delenv("REPRO_SOLAR_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-solar"

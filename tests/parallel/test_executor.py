@@ -1,0 +1,197 @@
+"""Tests for the shared work-unit executor."""
+
+import pytest
+
+import repro.parallel.executor as executor_mod
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import (
+    BACKENDS,
+    ExecutionStats,
+    _auto_chunk_size,
+    execute_units,
+    run_units,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _pair(a, b):
+    return (a, b)
+
+
+UNITS = [(i,) for i in range(10)]
+EXPECTED = [i * i for i in range(10)]
+
+
+def _forbid_pools(monkeypatch):
+    """Make any pool construction fail loudly."""
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("a pool was spawned")
+
+    monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", _boom)
+    monkeypatch.setattr(executor_mod, "ThreadPoolExecutor", _boom)
+
+
+class TestInlinePath:
+    def test_jobs_none_never_spawns_a_pool(self, monkeypatch):
+        _forbid_pools(monkeypatch)
+        results, stats = execute_units(_square, UNITS)
+        assert results == EXPECTED
+        assert stats.backend == "inline" and stats.jobs == 1
+
+    def test_jobs_one_never_spawns_a_pool(self, monkeypatch):
+        _forbid_pools(monkeypatch)
+        results, stats = execute_units(_square, UNITS, jobs=1, backend="process")
+        assert results == EXPECTED
+        assert stats.backend == "inline"
+
+    def test_single_unit_never_spawns_a_pool(self, monkeypatch):
+        _forbid_pools(monkeypatch)
+        results, stats = execute_units(_square, [(7,)], jobs=8, backend="process")
+        assert results == [49]
+        assert stats.backend == "inline"
+
+    def test_inline_backend_forces_inline_at_any_jobs(self, monkeypatch):
+        _forbid_pools(monkeypatch)
+        results, _ = execute_units(_square, UNITS, jobs=8, backend="inline")
+        assert results == EXPECTED
+
+    def test_multi_argument_units(self):
+        results, _ = execute_units(_pair, [(1, 2), (3, 4)])
+        assert results == [(1, 2), (3, 4)]
+
+
+class TestPoolBackends:
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_matches_inline_in_order(self, backend):
+        results, stats = execute_units(_square, UNITS, jobs=2, backend=backend)
+        assert results == EXPECTED
+        assert stats.backend == backend
+        assert stats.jobs == 2
+        assert stats.n_chunks >= 2
+
+    def test_explicit_chunk_size(self):
+        results, stats = execute_units(
+            _square, UNITS, jobs=2, backend="thread", chunk_size=3
+        )
+        assert results == EXPECTED
+        assert stats.chunk_size == 3
+        assert stats.n_chunks == 4  # 10 units in chunks of 3
+
+    def test_jobs_clamped_to_pending(self):
+        _, stats = execute_units(_square, UNITS[:2], jobs=16, backend="thread")
+        assert stats.jobs == 2
+
+    def test_initializer_runs_in_workers(self, tmp_path):
+        marker = tmp_path / "warm"
+        results, _ = execute_units(
+            _square,
+            UNITS,
+            jobs=2,
+            backend="thread",
+            initializer=lambda p: open(p, "a").close(),
+            initargs=(str(marker),),
+        )
+        assert results == EXPECTED
+        assert marker.exists()
+
+
+class TestValidation:
+    def test_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            execute_units(_square, UNITS, backend="mpi")
+        assert set(BACKENDS) == {"process", "thread", "inline"}
+
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            execute_units(_square, UNITS, jobs=0)
+
+    def test_keys_length_mismatch(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        with pytest.raises(ValueError, match="cache keys"):
+            execute_units(_square, UNITS, cache=cache, keys=["k"])
+
+    def test_auto_chunk_size(self):
+        assert _auto_chunk_size(100, 4) == 7  # ceil(100 / 16)
+        assert _auto_chunk_size(1, 8) == 1
+        assert _auto_chunk_size(0, 8) == 1
+
+
+class TestCacheIntegration:
+    def test_hits_skip_execution(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key({"unit": i}) for i, in UNITS]
+        first, stats1 = execute_units(_square, UNITS, cache=cache, keys=keys)
+        assert first == EXPECTED
+        assert stats1.cache_misses == len(UNITS) and stats1.cache_hits == 0
+        # Second run: everything served from cache, fn never called,
+        # and no pool is spawned even with jobs > 1.
+        _forbid_pools(monkeypatch)
+
+        def _fail(x):
+            raise AssertionError("unit re-executed despite cache hit")
+
+        second, stats2 = execute_units(
+            _fail, UNITS, jobs=4, backend="process", cache=cache, keys=keys
+        )
+        assert second == EXPECTED
+        assert stats2.cache_hits == len(UNITS) and stats2.cache_misses == 0
+
+    def test_partial_resume_runs_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key({"unit": i}) for i, in UNITS]
+        for key, (i,) in list(zip(keys, UNITS))[:7]:
+            cache.put(key, i * i)
+        executed = []
+
+        def _traced(x):
+            executed.append(x)
+            return x * x
+
+        results, stats = execute_units(_traced, UNITS, cache=cache, keys=keys)
+        assert results == EXPECTED
+        assert executed == [7, 8, 9]
+        assert stats.cache_hits == 7 and stats.cache_misses == 3
+
+    def test_none_keys_are_uncacheable(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key({"unit": 0}), None]
+        results, stats = execute_units(_square, [(2,), (3,)], cache=cache, keys=keys)
+        assert results == [4, 9]
+        assert cache.info()["entries"] == 1
+
+    def test_thread_pool_writes_back(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key({"unit": i}) for i, in UNITS]
+        execute_units(_square, UNITS, jobs=2, backend="thread", cache=cache, keys=keys)
+        assert cache.info()["entries"] == len(UNITS)
+        _, stats = execute_units(
+            _square, UNITS, jobs=2, backend="thread", cache=cache, keys=keys
+        )
+        assert stats.cache_hits == len(UNITS)
+
+
+class TestStats:
+    def test_as_dict_round_trips(self):
+        stats = ExecutionStats(
+            backend="process", jobs=4, n_units=20, cache_hits=5,
+            cache_misses=15, chunk_size=2, n_chunks=8,
+            dispatch_s=0.03, elapsed_s=1.5,
+        )
+        payload = stats.as_dict()
+        assert payload["backend"] == "process"
+        assert payload["dispatch_per_unit_s"] == pytest.approx(0.002)
+
+    def test_dispatch_per_unit_zero_when_all_hit(self):
+        stats = ExecutionStats(
+            backend="inline", jobs=1, n_units=5, cache_hits=5,
+            cache_misses=0, chunk_size=1, n_chunks=0,
+            dispatch_s=0.0, elapsed_s=0.01,
+        )
+        assert stats.dispatch_per_unit_s == 0.0
+
+    def test_run_units_drops_stats(self):
+        assert run_units(_square, UNITS) == EXPECTED

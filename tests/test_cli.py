@@ -379,3 +379,85 @@ class TestRobustnessCommand:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "scenarios:" in out and "regime-shift" in out
+
+
+class TestCacheCommand:
+    """repro-solar cache info/clear + the run-time cache flags."""
+
+    def test_info_on_missing_dir_exits_2(self, tmp_path, capsys):
+        code = main(["cache", "info", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "does not exist" in err
+
+    def test_clear_on_missing_dir_exits_2(self, tmp_path, capsys):
+        code = main(["cache", "clear", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_clear_refuses_foreign_dir(self, tmp_path, capsys):
+        (tmp_path / "keep.txt").write_text("not a cache")
+        code = main(["cache", "clear", "--dir", str(tmp_path)])
+        assert code == 2
+        assert "refusing" in capsys.readouterr().err
+        assert (tmp_path / "keep.txt").exists()
+
+    def test_run_populates_then_info_then_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "run", "table1", "--days", "5", "--sites", "PFCI",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cache-misses=1" in captured.err
+        assert main([
+            "run", "table1", "--days", "5", "--sites", "PFCI",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cache-hits=1" in captured.err
+
+        assert main(["cache", "info", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "info", "--dir", str(cache_dir)]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_caching(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_SOLAR_CACHE_DIR", str(cache_dir))
+        assert main([
+            "run", "table1", "--days", "5", "--sites", "PFCI", "--no-cache",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert not cache_dir.exists()
+        assert "cache-misses" not in captured.err
+
+    def test_default_cache_dir_honours_env(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_SOLAR_CACHE_DIR", str(cache_dir))
+        assert main(["run", "table1", "--days", "5", "--sites", "PFCI"]) == 0
+        capsys.readouterr()
+        assert cache_dir.is_dir()
+        assert main(["cache", "info"]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+
+    def test_robustness_uses_cache(self, tmp_path, capsys):
+        argv = [
+            "robustness", "--days", "30", "--sites", "PFCI",
+            "--scenarios", "dropout", "--no-tune", "--no-fleet",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "cache-misses=2" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "cache-hits=2" in second.err
+        assert first.out == second.out
+
+    def test_backend_choice_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-all", "--backend", "mpi"])
