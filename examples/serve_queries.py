@@ -1,0 +1,111 @@
+"""Walkthrough: the always-on forecast daemon, driven end to end.
+
+Spawns ``repro-solar serve`` as a real subprocess (stdin-JSONL
+transport, persistent state), registers a synthetic site and the
+bundled measured sample, streams observations and reads the audit
+lines back, interrupts the daemon with SIGINT mid-stream, verifies the
+clean state flush (exit status 0 + shutdown event), then restarts it
+and shows the resume: the second daemon picks up at the exact observed
+count and model-state digest the first one flushed.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_queries.py
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.solar.ingest import sample_csv_path
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def spawn(state_dir):
+    """One serve daemon with the measured sample registered alongside."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir),
+            "--trace", str(sample_csv_path()),
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": SRC_DIR},
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["event"] == "ready", ready
+    print(f"daemon up: pid={ready['pid']} predictor={ready['predictor']}")
+    return proc
+
+
+def ask(proc, request):
+    proc.stdin.write(json.dumps(request) + "\n")
+    proc.stdin.flush()
+    response = json.loads(proc.stdout.readline())
+    assert response.get("ok"), response
+    return response
+
+
+def main() -> None:
+    state_dir = Path(tempfile.mkdtemp(prefix="serve-state-")) / "state"
+
+    # ------------------------------------------------------------------
+    # 1. First daemon: synthetic + measured sites, observations in.
+    # ------------------------------------------------------------------
+    proc = spawn(state_dir)
+    synthetic = ask(proc, {"op": "register", "site": "SPMD"})
+    measured = ask(proc, {"op": "register", "site": "SAMPLE-MIDC"})
+    print(f"registered {synthetic['site']} and {measured['site']}")
+
+    ask(proc, {"op": "replay", "site": "SPMD", "days": 3})
+    for value in (0.0, 0.0, 12.5, 80.0, 210.0, 360.0):
+        audit = ask(
+            proc, {"op": "observe", "site": "SAMPLE-MIDC", "value": value}
+        )
+        print(
+            f"observe {audit['site']} day={audit['day']} slot={audit['slot']} "
+            f"value={audit['value']:.1f} -> prediction="
+            f"{audit['prediction']:.1f} state={audit['state_digest']}"
+        )
+    last_digest = audit["state_digest"]
+    forecast = ask(proc, {"op": "forecast", "site": "SPMD"})
+    print(
+        f"standing forecast for {forecast['site']}: "
+        f"{forecast['prediction']:.1f} W/m^2 (slot {forecast['slot']})"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. SIGINT: graceful shutdown must flush state and exit 0.
+    # ------------------------------------------------------------------
+    proc.send_signal(signal.SIGINT)
+    tail, _ = proc.communicate(timeout=30)
+    shutdown = json.loads(tail.splitlines()[-1])
+    assert shutdown["event"] == "shutdown", shutdown
+    assert proc.returncode == 0, proc.returncode
+    print(f"SIGINT: rc=0, flushed {shutdown['checkpointed']} pending site(s)")
+
+    # ------------------------------------------------------------------
+    # 3. Restart: registration *is* the resume.
+    # ------------------------------------------------------------------
+    proc = spawn(state_dir)
+    resumed = ask(proc, {"op": "register", "site": "SAMPLE-MIDC"})
+    assert resumed["observed"] == 6, resumed
+    assert resumed["resumed_from"] == last_digest, resumed
+    print(
+        f"restarted: {resumed['site']} resumed at observed="
+        f"{resumed['observed']} from state {resumed['resumed_from']}"
+    )
+    proc.send_signal(signal.SIGINT)
+    proc.communicate(timeout=30)
+    assert proc.returncode == 0
+    print("done: resume matched the flushed digest exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -307,6 +307,56 @@ def build_parser() -> argparse.ArgumentParser:
              "~/.cache/repro-solar)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="forecast daemon: JSONL queries on stdin (or --http PORT)",
+    )
+    serve_p.add_argument(
+        "--n", type=_positive_int, default=48, help="slots per day"
+    )
+    serve_p.add_argument(
+        "--predictor", default="wcma", help="registry predictor instantiated per site"
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="PATH",
+        help="checkpoint predictor state here (enables resume on restart)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        metavar="SLOTS",
+        help="observed slots between automatic state flushes (default 1)",
+    )
+    serve_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="CSV",
+        help="register this raw measured CSV as a queryable site",
+    )
+    serve_p.add_argument(
+        "--trace-channel",
+        default=None,
+        metavar="NAME",
+        help="channel of the --trace CSV (default: the first GLOBAL channel)",
+    )
+    serve_p.add_argument(
+        "--trace-resolution",
+        type=_positive_int,
+        default=None,
+        metavar="MINUTES",
+        help="resample the --trace CSV to this resolution",
+    )
+    serve_p.add_argument(
+        "--http",
+        type=_non_negative_int,
+        default=None,
+        metavar="PORT",
+        help="serve HTTP on this port instead of stdin JSONL (0 = auto-pick)",
+    )
+
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
     plot_p.add_argument("figure", choices=("fig2", "fig7"))
     plot_p.add_argument("--days", type=_positive_int, default=365)
@@ -726,6 +776,45 @@ def _dispatch(args) -> int:
 
                 unregister_measured_site(measured.name)
         return 0
+
+    if args.command == "serve":
+        from repro.serve import ForecastService, serve_http, serve_stdin
+
+        measured = None
+        if args.trace is not None:
+            from repro.solar.ingest.sites import register_measured_site
+
+            try:
+                measured = register_measured_site(
+                    args.trace,
+                    channel=args.trace_channel,
+                    resolution_minutes=args.trace_resolution,
+                    overwrite=True,
+                )
+                if measured.samples_per_day % args.n:
+                    raise ValueError(
+                        f"N={args.n} does not divide samples per day "
+                        f"({measured.samples_per_day}) of trace "
+                        f"{measured.name}"
+                    )
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        try:
+            service = ForecastService(
+                n_slots=args.n,
+                predictor=args.predictor,
+                state_dir=args.state_dir,
+                checkpoint_every=args.checkpoint_every,
+            )
+            if args.http is not None:
+                return serve_http(service, port=args.http)
+            return serve_stdin(service)
+        finally:
+            if measured is not None:
+                from repro.solar.ingest.sites import unregister_measured_site
+
+                unregister_measured_site(measured.name)
 
     if args.command == "plot":
         from repro.plotting import render_fig2, render_fig7

@@ -65,6 +65,34 @@ class OnlinePredictor(abc.ABC):
             out[t] = self.observe(float(value))
         return out
 
+    # ------------------------------------------------------------------
+    # Checkpointing (optional per predictor)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the online state, sufficient to resume exactly.
+
+        Predictors that support checkpoint/resume (WCMA, EWMA) override
+        this together with :meth:`load_state_dict`; restoring the
+        snapshot into a freshly constructed predictor and continuing
+        must be indistinguishable from never having stopped.  The
+        serving layer (:mod:`repro.serve`) persists these snapshots
+        after each observed slot so a restarted daemon resumes without
+        replaying history.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state checkpointing"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        Raises ``ValueError`` when the snapshot's geometry or
+        configuration does not match this instance.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state checkpointing"
+        )
+
 
 class VectorPredictor(abc.ABC):
     """Abstract base class for lock-step fleet predictors.
@@ -228,6 +256,39 @@ class DayHistory:
         self._n_complete = 0
         self._write_row = 0
         self._slot = 0
+
+    def state_dict(self) -> dict:
+        """Snapshot of the ring buffer (value copies, not views)."""
+        return {
+            "n_slots": self.n_slots,
+            "depth": self.depth,
+            "rows": self._rows.copy(),
+            "n_complete": self._n_complete,
+            "write_row": self._write_row,
+            "current": self._current.copy(),
+            "slot": self._slot,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (geometry must match)."""
+        if int(state["n_slots"]) != self.n_slots or int(state["depth"]) != self.depth:
+            raise ValueError(
+                f"history snapshot is {state['depth']}x{state['n_slots']}; "
+                f"this history is {self.depth}x{self.n_slots}"
+            )
+        rows = np.asarray(state["rows"], dtype=float)
+        current = np.asarray(state["current"], dtype=float)
+        if rows.shape != self._rows.shape or current.shape != self._current.shape:
+            raise ValueError(
+                f"history snapshot arrays have shapes {rows.shape}/"
+                f"{current.shape}; expected {self._rows.shape}/"
+                f"{self._current.shape}"
+            )
+        self._rows[...] = rows
+        self._current[...] = current
+        self._n_complete = int(state["n_complete"])
+        self._write_row = int(state["write_row"])
+        self._slot = int(state["slot"])
 
 
 class FleetDayHistory:

@@ -50,6 +50,43 @@ class EWMAPredictor(OnlinePredictor):
         self._seen.fill(False)
         self._slot = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot of the online state (resumes bitwise-exactly)."""
+        return {
+            "kind": "ewma",
+            "n_slots": self.n_slots,
+            "gamma": self.gamma,
+            "averages": self._averages.copy(),
+            "seen": self._seen.copy(),
+            "slot": self._slot,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (config must match)."""
+        if state.get("kind") != "ewma":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} is not 'ewma'"
+            )
+        if (
+            int(state["n_slots"]) != self.n_slots
+            or float(state["gamma"]) != self.gamma
+        ):
+            raise ValueError(
+                f"snapshot was taken with n_slots={state['n_slots']}, "
+                f"gamma={state['gamma']}; this predictor has "
+                f"n_slots={self.n_slots}, gamma={self.gamma}"
+            )
+        averages = np.asarray(state["averages"], dtype=float)
+        seen = np.asarray(state["seen"], dtype=bool)
+        if averages.shape != (self.n_slots,) or seen.shape != (self.n_slots,):
+            raise ValueError(
+                f"snapshot arrays have shapes {averages.shape}/{seen.shape}; "
+                f"expected ({self.n_slots},)"
+            )
+        self._averages[...] = averages
+        self._seen[...] = seen
+        self._slot = int(state["slot"])
+
     def observe(self, value: float) -> float:
         if value < 0:
             raise ValueError(f"power sample must be non-negative, got {value}")

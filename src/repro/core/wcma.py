@@ -164,6 +164,62 @@ class WCMAPredictor(OnlinePredictor):
         self._eta_floor = 0.0
         self._mu_days_seen = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot of the online state (resumes bitwise-exactly).
+
+        The derived mu-row cache is *not* serialised: loading marks it
+        stale so the next :meth:`observe` recomputes it from the history
+        matrix, which is deterministic -- the resumed predictor emits
+        the same bits as one that never stopped.
+        """
+        return {
+            "kind": "wcma",
+            "n_slots": self.n_slots,
+            "params": {
+                "alpha": self.params.alpha,
+                "days": self.params.days,
+                "k": self.params.k,
+            },
+            "eta_floor_fraction": self.eta_floor_fraction,
+            "history": self._history.state_dict(),
+            "recent_eta": list(self._recent_eta),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (config must match)."""
+        if state.get("kind") != "wcma":
+            raise ValueError(
+                f"snapshot kind {state.get('kind')!r} is not 'wcma'"
+            )
+        params = state["params"]
+        mine = self.params
+        if (
+            int(state["n_slots"]) != self.n_slots
+            or float(params["alpha"]) != mine.alpha
+            or int(params["days"]) != mine.days
+            or int(params["k"]) != mine.k
+        ):
+            raise ValueError(
+                f"snapshot was taken with n_slots={state['n_slots']}, "
+                f"params={params}; this predictor has n_slots="
+                f"{self.n_slots}, params={{'alpha': {mine.alpha}, "
+                f"'days': {mine.days}, 'k': {mine.k}}}"
+            )
+        if float(state["eta_floor_fraction"]) != self.eta_floor_fraction:
+            raise ValueError(
+                f"snapshot eta_floor_fraction {state['eta_floor_fraction']} "
+                f"!= this predictor's {self.eta_floor_fraction}"
+            )
+        self._history.load_state_dict(state["history"])
+        self._recent_eta = deque(
+            (float(v) for v in state["recent_eta"]), maxlen=mine.k
+        )
+        # Derived caches: mark stale (-1 never equals a completed-days
+        # count) so _refresh_mu recomputes them on the next observe.
+        self._mu_row = None
+        self._eta_floor = 0.0
+        self._mu_days_seen = -1
+
     def _refresh_mu(self) -> None:
         """Recompute the per-slot mu_D row after a day completes.
 

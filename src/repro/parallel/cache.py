@@ -67,6 +67,23 @@ MISS = object()
 _MARKER_NAME = "cache-meta.json"
 
 
+def _unlink_quiet(path: Path) -> bool:
+    """Remove ``path``, tolerating a concurrent delete.
+
+    Two resuming runs sharing a cache directory can both decide to drop
+    the same entry (a corrupt file both treat as a miss, or overlapping
+    ``clear`` calls); losing that race must not crash either of them.
+    Returns True when this call actually removed the file.
+    """
+    try:
+        path.unlink()
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+
+
 def default_salt() -> str:
     """The code-version salt: package version + cache schema version."""
     from repro import __version__
@@ -196,10 +213,9 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
             # Corrupt / stale-format entry: drop it and treat as a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Another process may race us to the same conclusion; its
+            # unlink winning is fine (_unlink_quiet tolerates it).
+            _unlink_quiet(path)
             self.misses += 1
             return MISS
         self.hits += 1
@@ -247,12 +263,19 @@ class ResultCache:
         """
         if not self.root.is_dir():
             raise ValueError(f"cache directory {self.root} does not exist")
-        entries = list(self._entries())
+        total = 0
+        count = 0
+        for p in self._entries():
+            try:
+                total += p.stat().st_size
+            except FileNotFoundError:
+                continue  # removed concurrently between listing and stat
+            count += 1
         return {
             "root": str(self.root),
             "salt": self.salt,
-            "entries": len(entries),
-            "bytes": sum(p.stat().st_size for p in entries),
+            "entries": count,
+            "bytes": total,
         }
 
     def clear(self) -> int:
@@ -273,11 +296,14 @@ class ResultCache:
             )
         removed = 0
         for path in entries:
-            path.unlink()
-            removed += 1
+            if _unlink_quiet(path):
+                removed += 1
         for sub in self.root.iterdir():
-            if sub.is_dir() and len(sub.name) == 2 and not any(sub.iterdir()):
-                sub.rmdir()
+            try:
+                if sub.is_dir() and len(sub.name) == 2 and not any(sub.iterdir()):
+                    sub.rmdir()
+            except OSError:
+                pass  # concurrent clear emptied/removed it first
         return removed
 
     def counters(self) -> Tuple[int, int]:

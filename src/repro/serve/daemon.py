@@ -1,0 +1,92 @@
+"""The serve daemon's stdin-JSONL transport.
+
+One JSON request per input line, one JSON response per output line --
+the simplest protocol a cron job, a shell pipe or a supervisor can
+speak, and the one the CLI's ``repro-solar serve`` runs by default::
+
+    $ printf '%s\n' \
+        '{"op": "register", "site": "SPMD"}' \
+        '{"op": "observe", "site": "SPMD", "value": 412.5}' \
+      | repro-solar serve --n 48
+
+Protocol events (emitted by the daemon itself, not request responses):
+
+* on start: ``{"event": "ready", ...}`` -- the parent may begin
+  writing queries once this line appears;
+* on shutdown: ``{"event": "shutdown", "reason": "eof" | "signal",
+  "checkpointed": N}`` -- always the last line, after every pending
+  predictor state has been flushed to the state store.
+
+Shutdown is graceful under both EOF and SIGINT: the
+``KeyboardInterrupt`` raised by the default SIGINT handler is caught
+*wherever* it lands in the loop, pending state is checkpointed, the
+shutdown event is emitted, and the exit status is 0.  A malformed line
+never kills the daemon -- it produces an ``{"ok": false, ...}``
+response and the loop continues.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Optional, TextIO
+
+from repro.serve.service import ForecastService
+
+__all__ = ["serve_stdin"]
+
+
+def _emit(out_stream: TextIO, payload: dict) -> None:
+    out_stream.write(json.dumps(payload) + "\n")
+    out_stream.flush()
+
+
+def ready_event(service: ForecastService) -> dict:
+    """The daemon's first output line (shared with the HTTP front-end)."""
+    return {
+        "event": "ready",
+        "predictor": service.predictor_name,
+        "n_slots": service.n_slots,
+        "persistent": service.store is not None,
+        "pid": os.getpid(),
+    }
+
+
+def serve_stdin(
+    service: ForecastService,
+    in_stream: Optional[TextIO] = None,
+    out_stream: Optional[TextIO] = None,
+) -> int:
+    """Answer JSONL requests until EOF or SIGINT; returns the exit code.
+
+    Every response line corresponds to exactly one input line (blank
+    lines are ignored), so a driver may pipeline requests and match
+    responses by order.
+    """
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    reason = "eof"
+    try:
+        _emit(out_stream, ready_event(service))
+        for line in in_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                _emit(out_stream, {"ok": False, "error": f"bad JSON: {exc}"})
+                continue
+            _emit(out_stream, service.handle(request))
+    except KeyboardInterrupt:
+        reason = "signal"
+    flushed = service.checkpoint_all()
+    try:
+        _emit(
+            out_stream,
+            {"event": "shutdown", "reason": reason, "checkpointed": flushed},
+        )
+    except (BrokenPipeError, ValueError):
+        pass  # parent already closed the pipe; state is safe regardless
+    return 0

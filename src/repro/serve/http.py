@@ -1,0 +1,103 @@
+"""Optional HTTP front-end of the forecast service (stdlib only).
+
+``repro-solar serve --http PORT`` answers the same request dicts as the
+stdin-JSONL transport over ``POST /`` (JSON body in, JSON body out),
+plus ``GET /healthz`` returning the ready event -- enough for a load
+balancer probe.  Built on :class:`http.server.ThreadingHTTPServer`, so
+concurrent queries exercise the service's internal lock (which is why
+:class:`~repro.serve.service.ForecastService` serialises operations and
+:class:`~repro.solar.ingest.sites.MeasuredSite.ingest` is
+double-check-locked).
+
+The server announces itself on stdout with the same ``ready`` event as
+the stdin daemon, extended with the bound host/port (pass port 0 to let
+the OS pick); SIGINT shuts it down gracefully with the same state flush
+and ``shutdown`` event.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, TextIO
+
+from repro.serve.daemon import ready_event
+from repro.serve.service import ForecastService
+
+__all__ = ["serve_http"]
+
+_MAX_BODY = 1 << 20  # a forecast query is tiny; refuse absurd bodies
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: ForecastService = None  # set on the subclass per server
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 (http.server naming convention)
+        if self.path == "/healthz":
+            self._respond(200, ready_event(self.service))
+        else:
+            self._respond(404, {"ok": False, "error": "POST / with a JSON request"})
+
+    def do_POST(self):  # noqa: N802
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY:
+            self._respond(
+                400, {"ok": False, "error": "request body must be 1 byte - 1 MiB"}
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            self._respond(400, {"ok": False, "error": f"bad JSON: {exc}"})
+            return
+        response = self.service.handle(request)
+        self._respond(200 if response.get("ok") else 400, response)
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass  # responses are the audit trail; no access-log noise
+
+
+def serve_http(
+    service: ForecastService,
+    port: int,
+    host: str = "127.0.0.1",
+    out_stream: Optional[TextIO] = None,
+) -> int:
+    """Serve HTTP until SIGINT; returns the exit code.
+
+    Emits the ``ready`` event (with the bound address) on stdout before
+    accepting requests and the ``shutdown`` event after the state
+    flush, mirroring :func:`~repro.serve.daemon.serve_stdin`.
+    """
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    handler = type("_BoundHandler", (_Handler,), {"service": service})
+    with ThreadingHTTPServer((host, port), handler) as server:
+        ready = ready_event(service)
+        ready["host"], ready["port"] = server.server_address[:2]
+        out_stream.write(json.dumps(ready) + "\n")
+        out_stream.flush()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    flushed = service.checkpoint_all()
+    try:
+        out_stream.write(
+            json.dumps(
+                {"event": "shutdown", "reason": "signal", "checkpointed": flushed}
+            )
+            + "\n"
+        )
+        out_stream.flush()
+    except (BrokenPipeError, ValueError):
+        pass
+    return 0

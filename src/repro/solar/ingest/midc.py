@@ -21,27 +21,53 @@ carry -- into a dense NaN-padded grid at the file's native resolution:
   paper's GHI channel), else the first channel;
 * missing data in all three wild forms -- absent rows, empty cells and
   sentinel values (``<= -999``, e.g. MIDC's ``-99999``) -- becomes NaN;
+  sentinel and sample cells tolerate stray whitespace;
+* a UTF-8 byte-order mark on the header row (Windows re-saves add one,
+  and it breaks CSV quoting if left in) and CRLF line endings are
+  absorbed;
 * rows may arrive in any order; duplicate timestamps are an error;
-* the native resolution is inferred from the smallest time step and
+* the native resolution is inferred from the *modal* time step and
   every row must sit on that grid.
 
 The output covers the whole calendar span of the file (missing rows
 padded with NaN), so downstream consumers always see whole days.
+
+Two reading modes share the same row machinery:
+
+* :func:`parse_midc` -- the whole-file parser; loads every row, accepts
+  rows in any order.
+* :func:`scan_midc` / :func:`iter_days` / :func:`stream_channel` -- the
+  **streaming** reader for files larger than memory.  ``scan_midc``
+  makes one bounded-memory validation pass (it keeps the set of
+  distinct minutes-of-day, never the rows); ``iter_days`` then yields
+  one dense :class:`DayChunk` at a time, holding at most a single day
+  of samples, requiring rows grouped by date (real exports are).  The
+  concatenation of the chunks is byte-identical to the whole-file grid
+  (pinned by ``tests/solar/test_ingest_stream.py``).
 """
 
 from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from datetime import datetime
+from datetime import date, datetime
 from pathlib import Path
-from typing import List, Optional, TextIO, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
 from repro.solar.trace import MINUTES_PER_DAY
 
-__all__ = ["IngestError", "MIDCChannel", "parse_midc"]
+__all__ = [
+    "IngestError",
+    "MIDCChannel",
+    "DayChunk",
+    "StreamInfo",
+    "parse_midc",
+    "scan_midc",
+    "iter_days",
+    "stream_channel",
+]
 
 #: Values at or below this are treated as missing-data sentinels.
 SENTINEL_CEILING = -999.0
@@ -102,46 +128,142 @@ class MIDCChannel:
         return float(np.isnan(self.values).mean())
 
 
+@dataclass(frozen=True, eq=False)
+class DayChunk:
+    """One dense day of samples from the streaming reader.
+
+    Attributes
+    ----------
+    ordinal:
+        Proleptic ordinal of the calendar day.
+    date:
+        The same day as an ISO string.
+    values:
+        ``(samples_per_day,)`` float array; NaN marks missing samples.
+    """
+
+    ordinal: int
+    date: str
+    values: np.ndarray
+
+
+@dataclass(frozen=True)
+class StreamInfo:
+    """What one bounded-memory scan pass learns about a file.
+
+    Everything :func:`iter_days` needs to stream the data pass, plus
+    the channel metadata :class:`MIDCChannel` carries.
+    """
+
+    resolution_minutes: int
+    channel: str
+    channels: Tuple[str, ...]
+    first_ordinal: int
+    last_ordinal: int
+    n_rows: int
+
+    @property
+    def samples_per_day(self) -> int:
+        """Samples in each whole day at the scanned resolution."""
+        return MINUTES_PER_DAY // self.resolution_minutes
+
+    @property
+    def n_days(self) -> int:
+        """Whole calendar days the grid will span."""
+        return self.last_ordinal - self.first_ordinal + 1
+
+    @property
+    def start_date(self) -> str:
+        """ISO date of the first grid day."""
+        return date.fromordinal(self.first_ordinal).isoformat()
+
+
 def parse_midc(
     source: Union[str, Path, TextIO], channel: Optional[str] = None
 ) -> MIDCChannel:
     """Parse one channel of an MIDC-shaped CSV (path or text stream)."""
     if isinstance(source, (str, Path)):
-        with open(source, "r", newline="") as handle:
+        with _open_path(source) as handle:
             return _parse(handle, channel)
     return _parse(source, channel)
 
 
-def _parse(handle: TextIO, channel: Optional[str]) -> MIDCChannel:
-    reader = csv.reader(handle)
-    header = next((row for row in reader if row and any(c.strip() for c in row)), None)
-    if header is None:
-        raise IngestError("file is empty")
-    header = [cell.strip() for cell in header]
-    date_col, time_col = _locate_time_columns(header)
-    channel_cols = [
-        (i, name)
-        for i, name in enumerate(header)
-        if i not in (date_col, time_col) and name
-    ]
-    if not channel_cols:
-        raise IngestError("no measurement channels besides the date/time columns")
-    value_col, channel_name = _select_channel(channel_cols, channel)
+def _open_path(source: Union[str, Path]) -> TextIO:
+    # utf-8-sig absorbs a leading byte-order mark (a BOM in front of a
+    # quoted header cell would otherwise break CSV quote parsing).
+    return open(source, "r", newline="", encoding="utf-8-sig")
 
+
+def _lines_without_bom(handle: Iterable[str]) -> Iterator[str]:
+    """The lines of ``handle`` with a leading BOM stripped.
+
+    Covers text streams the caller opened without ``utf-8-sig`` (or
+    built in memory); a no-op when no BOM is present.
+    """
+    lines = iter(handle)
+    try:
+        first = next(lines)
+    except StopIteration:
+        return
+    yield first.lstrip("\ufeff")
+    yield from lines
+
+
+class _RowReader:
+    """CSV rows with the header resolved into (date, time, value) columns.
+
+    Shared by the whole-file parser and both streaming passes so every
+    mode tolerates the same quirks and raises the same errors.
+    """
+
+    def __init__(self, handle: Iterable[str], channel: Optional[str]):
+        self._reader = csv.reader(_lines_without_bom(handle))
+        header = next(
+            (row for row in self._reader if row and any(c.strip() for c in row)),
+            None,
+        )
+        if header is None:
+            raise IngestError("file is empty")
+        header = [cell.strip() for cell in header]
+        self.date_col, self.time_col = _locate_time_columns(header)
+        channel_cols = [
+            (i, name)
+            for i, name in enumerate(header)
+            if i not in (self.date_col, self.time_col) and name
+        ]
+        if not channel_cols:
+            raise IngestError("no measurement channels besides the date/time columns")
+        self.value_col, self.channel_name = _select_channel(channel_cols, channel)
+        self.channels = tuple(name for _, name in channel_cols)
+
+    def iter_rows(self) -> Iterator[Tuple[int, int, int, float]]:
+        """Yield ``(line, day_ordinal, minute_of_day, value)`` per data row."""
+        width = max(self.date_col, self.time_col, self.value_col)
+        for line, row in enumerate(self._reader, start=2):
+            if not row or not any(cell.strip() for cell in row):
+                continue
+            if len(row) <= width:
+                raise IngestError(
+                    f"row {line}: expected at least "
+                    f"{width + 1} fields, got {len(row)}"
+                )
+            yield (
+                line,
+                _parse_date(row[self.date_col].strip(), line),
+                _parse_minute(row[self.time_col].strip(), line),
+                _parse_value(row[self.value_col].strip(), line),
+            )
+
+
+def _parse(handle: TextIO, channel: Optional[str]) -> MIDCChannel:
+    reader = _RowReader(handle, channel)
     ordinals: List[int] = []
     minutes: List[int] = []
     values: List[float] = []
-    for line, row in enumerate(reader, start=2):
-        if not row or not any(cell.strip() for cell in row):
-            continue
-        if len(row) <= max(date_col, time_col, value_col):
-            raise IngestError(
-                f"row {line}: expected at least "
-                f"{max(date_col, time_col, value_col) + 1} fields, got {len(row)}"
-            )
-        ordinals.append(_parse_date(row[date_col].strip(), line))
-        minutes.append(_parse_minute(row[time_col].strip(), line))
-        values.append(_parse_value(row[value_col].strip(), line))
+    for _line, ordinal, minute, value in reader.iter_rows():
+        ordinals.append(ordinal)
+        minutes.append(minute)
+        values.append(value)
     if not ordinals:
         raise IngestError("file contains no data rows")
 
@@ -175,9 +297,216 @@ def _parse(handle: TextIO, channel: Optional[str]) -> MIDCChannel:
     return MIDCChannel(
         values=grid,
         resolution_minutes=resolution,
-        channel=channel_name,
-        channels=tuple(name for _, name in channel_cols),
+        channel=reader.channel_name,
+        channels=reader.channels,
         start_date=datetime.fromordinal(first).date().isoformat(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming reader
+# ----------------------------------------------------------------------
+def scan_midc(
+    source: Union[str, Path, TextIO], channel: Optional[str] = None
+) -> StreamInfo:
+    """Validation pass over an MIDC CSV in bounded memory.
+
+    Streams every row exactly as :func:`parse_midc` would read it --
+    same header resolution, same per-row errors -- but keeps only the
+    calendar span and the set of distinct minutes-of-day (at most 1440
+    entries), never the rows themselves.  Returns the
+    :class:`StreamInfo` that :func:`iter_days` needs for its data pass.
+    """
+    if isinstance(source, (str, Path)):
+        with _open_path(source) as handle:
+            return _scan(handle, channel)
+    return _scan(source, channel)
+
+
+def _scan(handle: TextIO, channel: Optional[str]) -> StreamInfo:
+    reader = _RowReader(handle, channel)
+    # Distinct minutes in first-occurrence order: enough to both infer
+    # the resolution and report the same first off-grid minute the
+    # whole-file parser would (all minutes seen before an off-grid
+    # row's first occurrence are on-grid by construction).
+    minute_order: dict = {}
+    first = last = None
+    n_rows = 0
+    for _line, ordinal, minute, _value in reader.iter_rows():
+        minute_order.setdefault(minute, None)
+        first = ordinal if first is None else min(first, ordinal)
+        last = ordinal if last is None else max(last, ordinal)
+        n_rows += 1
+    if n_rows == 0:
+        raise IngestError("file contains no data rows")
+    distinct = list(minute_order)
+    resolution = _infer_resolution(distinct)
+    off_grid = [m for m in distinct if m % resolution]
+    if off_grid:
+        raise IngestError(
+            f"irregular time grid: minute {off_grid[0]} is not on the "
+            f"inferred {resolution}-minute grid"
+        )
+    n_days = last - first + 1
+    if n_days > _MAX_SPAN_DAYS:
+        raise IngestError(
+            f"file spans {n_days} calendar days (> {_MAX_SPAN_DAYS}); "
+            "not a contiguous deployment"
+        )
+    return StreamInfo(
+        resolution_minutes=resolution,
+        channel=reader.channel_name,
+        channels=reader.channels,
+        first_ordinal=first,
+        last_ordinal=last,
+        n_rows=n_rows,
+    )
+
+
+def iter_days(
+    source: Union[str, Path, TextIO],
+    channel: Optional[str] = None,
+    resolution_minutes: Optional[int] = None,
+) -> Iterator[DayChunk]:
+    """Stream an MIDC CSV one dense day at a time.
+
+    Holds at most a single day of samples: each yielded
+    :class:`DayChunk` carries a freshly allocated ``(samples_per_day,)``
+    grid (NaN-padded, missing interior days yielded as all-NaN), so a
+    consumer that processes chunks as they arrive never sees the whole
+    file in memory.
+
+    Rows must be grouped by date in file order (real logger exports
+    are); an out-of-order date raises :class:`IngestError` -- the
+    whole-file parser is the fallback for shuffled files.
+
+    Parameters
+    ----------
+    source:
+        Path or text stream of the raw CSV.
+    channel:
+        Channel header to read (same selection rules as
+        :func:`parse_midc`).
+    resolution_minutes:
+        The file's grid.  When omitted, a :func:`scan_midc` pass infers
+        it first -- which needs a path (or a seekable stream) so the
+        data pass can re-read from the start.
+    """
+    if resolution_minutes is None:
+        info = scan_midc(_rewound(source), channel)
+        resolution = info.resolution_minutes
+    else:
+        resolution = resolution_minutes
+        if resolution <= 0 or MINUTES_PER_DAY % resolution:
+            raise IngestError(
+                f"resolution_minutes must divide a day, got {resolution}"
+            )
+    if isinstance(source, (str, Path)):
+        with _open_path(source) as handle:
+            yield from _iter_days(handle, channel, resolution)
+    elif resolution_minutes is None:
+        yield from _iter_days(_rewound(source), channel, resolution)
+    else:
+        # Explicit resolution: one pass suffices.  Rewind when the
+        # stream supports it (a prior scan pass left it at EOF), but a
+        # one-shot non-seekable stream is fine as-is.
+        seek = getattr(source, "seek", None)
+        if seek is not None:
+            seek(0)
+        yield from _iter_days(source, channel, resolution)
+
+
+def _rewound(source):
+    """``source`` positioned at its start (for multi-pass streaming)."""
+    if isinstance(source, (str, Path)):
+        return source
+    seek = getattr(source, "seek", None)
+    if seek is None:
+        raise IngestError(
+            "streaming needs a file path or a seekable stream when the "
+            "resolution must be inferred (the scan pass re-reads the "
+            "source); pass resolution_minutes= for one-shot streams"
+        )
+    seek(0)
+    return source
+
+
+def _iter_days(
+    handle: TextIO, channel: Optional[str], resolution: int
+) -> Iterator[DayChunk]:
+    reader = _RowReader(handle, channel)
+    spd = MINUTES_PER_DAY // resolution
+    first_ord: Optional[int] = None
+    current: Optional[int] = None
+    buf: Optional[np.ndarray] = None
+    seen: Optional[np.ndarray] = None
+    for line, ordinal, minute, value in reader.iter_rows():
+        if minute % resolution:
+            raise IngestError(
+                f"irregular time grid: minute {minute} is not on the "
+                f"inferred {resolution}-minute grid"
+            )
+        if current is None:
+            first_ord = current = ordinal
+            buf = np.full(spd, np.nan)
+            seen = np.zeros(spd, dtype=bool)
+        elif ordinal != current:
+            if ordinal < current:
+                raise IngestError(
+                    f"row {line}: date {date.fromordinal(ordinal).isoformat()} "
+                    f"after {date.fromordinal(current).isoformat()}; streaming "
+                    "ingest needs rows grouped by date (use parse_midc for "
+                    "shuffled files)"
+                )
+            if ordinal - first_ord + 1 > _MAX_SPAN_DAYS:
+                raise IngestError(
+                    f"file spans {ordinal - first_ord + 1} calendar days "
+                    f"(> {_MAX_SPAN_DAYS}); not a contiguous deployment"
+                )
+            yield DayChunk(current, date.fromordinal(current).isoformat(), buf)
+            for gap in range(current + 1, ordinal):
+                yield DayChunk(
+                    gap, date.fromordinal(gap).isoformat(), np.full(spd, np.nan)
+                )
+            current = ordinal
+            buf = np.full(spd, np.nan)
+            seen = np.zeros(spd, dtype=bool)
+        slot = minute // resolution
+        if seen[slot]:
+            raise IngestError(
+                f"duplicate timestamp: day {ordinal - first_ord + 1}, "
+                f"minute {minute}"
+            )
+        seen[slot] = True
+        buf[slot] = value
+    if current is None:
+        raise IngestError("file contains no data rows")
+    yield DayChunk(current, date.fromordinal(current).isoformat(), buf)
+
+
+def stream_channel(
+    source: Union[str, Path, TextIO], channel: Optional[str] = None
+) -> MIDCChannel:
+    """Assemble a whole :class:`MIDCChannel` through the streaming reader.
+
+    Two bounded-memory passes (scan, then day-by-day data); the result
+    is byte-identical to :func:`parse_midc` for date-grouped files.
+    Useful where the CSV text dwarfs the numeric grid -- the grid is
+    the only whole-file allocation made.
+    """
+    info = scan_midc(_rewound(source), channel)
+    grid = np.empty(info.n_days * info.samples_per_day, dtype=float)
+    spd = info.samples_per_day
+    for i, chunk in enumerate(
+        iter_days(source, channel, resolution_minutes=info.resolution_minutes)
+    ):
+        grid[i * spd : (i + 1) * spd] = chunk.values
+    return MIDCChannel(
+        values=grid,
+        resolution_minutes=info.resolution_minutes,
+        channel=info.channel,
+        channels=info.channels,
+        start_date=info.start_date,
     )
 
 

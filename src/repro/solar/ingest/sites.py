@@ -25,6 +25,7 @@ can ride the robustness matrix next to the synthetic degradations
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -74,16 +75,27 @@ class MeasuredSite:
         return f"{self.name.lower()}-defects"
 
     def ingest(self) -> IngestResult:
-        """The full ingestion result (memoised per process)."""
+        """The full ingestion result (memoised per process).
+
+        Thread-safe: under the thread backend (and the serve daemon's
+        HTTP threads) two threads can request the same site at once;
+        the double-checked lock makes sure the file is ingested exactly
+        once and the memo write is never racing a concurrent read.
+        """
         key = (self.path, self.channel, self.resolution_minutes, self.name)
-        if key not in _INGEST_CACHE:
-            _INGEST_CACHE[key] = ingest_csv(
-                self.path,
-                channel=self.channel,
-                resolution_minutes=self.resolution_minutes,
-                name=self.name,
-            )
-        return _INGEST_CACHE[key]
+        result = _INGEST_CACHE.get(key)
+        if result is None:
+            with _INGEST_LOCK:
+                result = _INGEST_CACHE.get(key)
+                if result is None:
+                    result = ingest_csv(
+                        self.path,
+                        channel=self.channel,
+                        resolution_minutes=self.resolution_minutes,
+                        name=self.name,
+                    )
+                    _INGEST_CACHE[key] = result
+        return result
 
     def build(self, n_days: Optional[int] = None) -> SolarTrace:
         """The clean trace, optionally truncated to the first ``n_days``."""
@@ -100,6 +112,8 @@ class MeasuredSite:
 
 _REGISTRY: Dict[str, MeasuredSite] = {}
 _INGEST_CACHE: Dict[Tuple, IngestResult] = {}
+#: Serialises ingest-memo fills; reads stay lock-free (GIL-atomic get).
+_INGEST_LOCK = threading.Lock()
 
 
 def register_measured_site(

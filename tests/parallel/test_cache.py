@@ -215,3 +215,77 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_SOLAR_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro-solar"
+
+
+class TestConcurrentDeleteTolerance:
+    """Two resuming runs sharing a cache race on unlink; neither may crash."""
+
+    def make_cache(self, tmp_path, entries=3):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key(dict(PAYLOAD, n_days=n)) for n in range(entries)]
+        for i, key in enumerate(keys):
+            cache.put(key, f"value-{i}")
+        return cache, keys
+
+    def test_clear_racing_clear(self, tmp_path, monkeypatch):
+        """A concurrent clear deleting files mid-sweep is not an error."""
+        cache, keys = self.make_cache(tmp_path)
+        rival = ResultCache(tmp_path / "c", salt="s")
+        entries = list(cache._entries())
+        monkeypatch.setattr(cache, "_entries", lambda: iter(entries))
+        rival.clear()  # the rival wins every unlink
+        assert cache.clear() == 0  # no crash; nothing left for us
+        assert cache.info()["entries"] == 0
+
+    def test_corrupt_get_racing_unlink(self, tmp_path, monkeypatch):
+        """Both readers conclude 'corrupt'; only one unlink can win."""
+        cache, keys = self.make_cache(tmp_path, entries=1)
+        path = cache._path(keys[0])
+        path.write_bytes(b"not a pickle")
+
+        original_open = open
+
+        def open_then_vanish(*args, **kwargs):
+            handle = original_open(*args, **kwargs)
+            path.unlink()  # the rival removes it between read and unlink
+            return handle
+
+        monkeypatch.setattr("builtins.open", open_then_vanish)
+        assert cache.get(keys[0]) is MISS  # no FileNotFoundError escape
+        monkeypatch.undo()
+        assert not path.exists()
+
+    def test_info_racing_unlink(self, tmp_path, monkeypatch):
+        """Entries unlinked between listing and stat are skipped."""
+        cache, keys = self.make_cache(tmp_path)
+        entries = list(cache._entries())
+        cache._path(keys[1]).unlink()  # vanishes after the listing
+        monkeypatch.setattr(cache, "_entries", lambda: iter(entries))
+        info = cache.info()
+        assert info["entries"] == 2
+
+    def test_threaded_clear_storm(self, tmp_path):
+        """Many threads clearing one cache: no exceptions, full removal."""
+        import threading
+
+        cache, keys = self.make_cache(tmp_path, entries=20)
+        caches = [ResultCache(tmp_path / "c", salt="s") for _ in range(6)]
+        removed = []
+        errors = []
+        barrier = threading.Barrier(len(caches), timeout=10)
+
+        def worker(c):
+            try:
+                barrier.wait()
+                removed.append(c.clear())
+            except Exception as exc:  # noqa: BLE001 - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in caches]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        assert sum(removed) == 20  # every entry removed exactly once
+        assert cache.info()["entries"] == 0

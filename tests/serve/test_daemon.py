@@ -1,0 +1,267 @@
+"""Tests for the serve daemon transports (stdin JSONL and HTTP).
+
+In-process loop tests pin the line protocol (ready first, one response
+per request, shutdown last); subprocess tests pin the operational
+contract of the issue: the daemon survives real SIGINT with a clean
+state flush and exit status 0, and a restarted daemon resumes from the
+flushed state.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.serve import ForecastService, serve_stdin
+
+#: Absolute src/ path so daemon subprocesses import this checkout
+#: regardless of their working directory.
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+SUBPROC_ENV = {**os.environ, "PYTHONPATH": SRC_DIR}
+
+
+def run_loop(requests, **service_kwargs):
+    service = ForecastService(**{"n_slots": 48, **service_kwargs})
+    lines = "\n".join(
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    )
+    out = io.StringIO()
+    rc = serve_stdin(service, io.StringIO(lines + "\n"), out)
+    return rc, [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestStdinLoop:
+    def test_ready_responses_shutdown_ordering(self):
+        rc, lines = run_loop(
+            [
+                {"op": "register", "site": "SPMD"},
+                {"op": "observe", "site": "SPMD", "value": 10.0},
+                {"op": "forecast", "site": "SPMD"},
+            ]
+        )
+        assert rc == 0
+        assert lines[0]["event"] == "ready"
+        assert lines[0]["predictor"] == "wcma" and lines[0]["n_slots"] == 48
+        assert [ln.get("op") for ln in lines[1:-1]] == [
+            "register", "observe", "forecast",
+        ]
+        assert lines[-1] == {
+            "event": "shutdown", "reason": "eof", "checkpointed": 0,
+        }
+
+    def test_one_response_per_request_in_order(self):
+        requests = [
+            {"op": "register", "site": "SPMD"},
+            *(
+                {"op": "observe", "site": "SPMD", "value": float(i)}
+                for i in range(20)
+            ),
+        ]
+        rc, lines = run_loop(requests)
+        responses = lines[1:-1]
+        assert len(responses) == len(requests)
+        assert [r["value"] for r in responses[1:]] == [float(i) for i in range(20)]
+
+    def test_bad_json_and_blank_lines_do_not_kill_the_loop(self):
+        rc, lines = run_loop(
+            [
+                "this is not json",
+                "",
+                {"op": "register", "site": "SPMD"},
+                '{"op": "observe", "site": "SPMD"',  # truncated JSON
+                {"op": "observe", "site": "SPMD", "value": 5.0},
+            ]
+        )
+        assert rc == 0
+        bodies = lines[1:-1]
+        assert len(bodies) == 4  # the blank line produces no response
+        assert bodies[0]["ok"] is False and "bad JSON" in bodies[0]["error"]
+        assert bodies[1]["ok"] is True
+        assert bodies[2]["ok"] is False and "bad JSON" in bodies[2]["error"]
+        assert bodies[3]["ok"] is True and bodies[3]["prediction"] == 5.0
+
+    def test_eof_flushes_pending_state(self, tmp_path):
+        rc, lines = run_loop(
+            [
+                {"op": "register", "site": "SPMD"},
+                {"op": "observe", "site": "SPMD", "value": 9.0},
+            ],
+            state_dir=tmp_path,
+            checkpoint_every=1000,  # nothing auto-flushed mid-loop
+        )
+        assert rc == 0
+        assert lines[-1] == {
+            "event": "shutdown", "reason": "eof", "checkpointed": 1,
+        }
+        resumed = ForecastService(n_slots=48, state_dir=tmp_path)
+        reg = resumed.handle({"op": "register", "site": "SPMD"})
+        assert reg["observed"] == 1
+
+    def test_cli_serve_in_process(self, monkeypatch, capsys):
+        requests = [
+            {"op": "register", "site": "ECSU"},
+            {"op": "observe", "site": "ECSU", "value": 44.0},
+        ]
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        )
+        rc = main(["serve", "--predictor", "ewma"])
+        assert rc == 0
+        lines = [json.loads(ln) for ln in capsys.readouterr().out.splitlines()]
+        assert lines[0]["event"] == "ready" and lines[0]["predictor"] == "ewma"
+        assert lines[2]["prediction"] == 44.0
+        assert lines[-1]["event"] == "shutdown"
+
+    def test_cli_rejects_unknown_predictor(self, capsys):
+        assert main(["serve", "--predictor", "nope"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+
+
+def spawn_daemon(tmp_path, *extra):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(tmp_path / "state"), *extra,
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=SUBPROC_ENV,
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["event"] == "ready"
+    return proc, ready
+
+
+def ask(proc, request):
+    proc.stdin.write(json.dumps(request) + "\n")
+    proc.stdin.flush()
+    return json.loads(proc.stdout.readline())
+
+
+class TestDaemonProcess:
+    def test_sigint_flushes_state_and_exits_zero(self, tmp_path):
+        proc, _ = spawn_daemon(tmp_path, "--checkpoint-every", "1000")
+        try:
+            assert ask(proc, {"op": "register", "site": "SPMD"})["ok"]
+            obs = ask(proc, {"op": "observe", "site": "SPMD", "value": 77.0})
+            assert obs["ok"] and obs["checkpointed"] is False
+            proc.send_signal(signal.SIGINT)
+            tail, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+            last = json.loads(tail.splitlines()[-1])
+            assert last == {
+                "event": "shutdown", "reason": "signal", "checkpointed": 1,
+            }
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # A second daemon resumes the flushed state across processes.
+        proc2, _ = spawn_daemon(tmp_path)
+        try:
+            reg = ask(proc2, {"op": "register", "site": "SPMD"})
+            assert reg["observed"] == 1 and "resumed_from" in reg
+            obs = ask(proc2, {"op": "observe", "site": "SPMD", "value": 80.0})
+            assert obs["day"] == 0 and obs["slot"] == 1
+            proc2.send_signal(signal.SIGINT)
+            _, err = proc2.communicate(timeout=30)
+            assert proc2.returncode == 0, err
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()
+                proc2.wait()
+
+    def test_sigint_mid_replay_resumes_consistently(self, tmp_path):
+        """Interrupting a busy daemon never leaves a torn state file."""
+        code = textwrap.dedent(
+            """
+            import json, sys
+            from repro.serve import ForecastService, serve_stdin
+            svc = ForecastService(n_slots=48, state_dir=sys.argv[1])
+            sys.exit(serve_stdin(svc))
+            """
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code, str(tmp_path / "state")],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=SUBPROC_ENV,
+        )
+        try:
+            json.loads(proc.stdout.readline())
+            assert ask(proc, {"op": "register", "site": "SPMD"})["ok"]
+            for i in range(30):
+                ask(proc, {"op": "observe", "site": "SPMD", "value": float(i)})
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        resumed = ForecastService(n_slots=48, state_dir=tmp_path / "state")
+        reg = resumed.handle({"op": "register", "site": "SPMD"})
+        assert reg["observed"] == 30
+
+
+class TestHTTP:
+    def test_http_round_trip_and_sigint(self, tmp_path):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--http", "0", "--state-dir", str(tmp_path / "state"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=SUBPROC_ENV,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            port = ready["port"]
+
+            def post(payload):
+                req = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/",
+                    data=json.dumps(payload).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=10) as resp:
+                        return resp.status, json.loads(resp.read())
+                except urllib.error.HTTPError as exc:
+                    return exc.code, json.loads(exc.read())
+
+            status, body = post({"op": "register", "site": "SPMD"})
+            assert status == 200 and body["ok"]
+            status, body = post({"op": "observe", "site": "SPMD", "value": 12.0})
+            assert status == 200 and body["prediction"] == 12.0
+            status, body = post({"op": "observe", "site": "NOPE", "value": 1.0})
+            assert status == 400 and body["ok"] is False
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as resp:
+                assert json.loads(resp.read())["event"] == "ready"
+
+            proc.send_signal(signal.SIGINT)
+            tail, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+            assert json.loads(tail.splitlines()[-1])["event"] == "shutdown"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert (tmp_path / "state").is_dir()

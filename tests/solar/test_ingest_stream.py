@@ -1,0 +1,340 @@
+"""Tests for the streaming ingest path and the parser hardening.
+
+The acceptance property of the streaming reader is *byte-identity*:
+``ingest_stream`` (and the lower-level ``stream_channel``) must produce
+exactly the bits of the whole-file path on any date-grouped file, while
+holding at most one day of samples at a time.  Covered here: parity on
+the bundled sample and on hypothesis-generated files, bounded-memory
+laziness (consumption tracking), the streaming-only error paths
+(out-of-order dates, non-seekable sources), the BOM/CRLF/sentinel-
+whitespace hardening, and the thread safety of the measured-site ingest
+memo.
+"""
+
+import io
+import re
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solar.ingest import (
+    IngestError,
+    ingest_csv,
+    ingest_stream,
+    iter_days,
+    parse_midc,
+    sample_csv_path,
+    scan_midc,
+    stream_channel,
+)
+
+
+HEADER = "DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Air Temperature [deg C]"
+
+
+def midc_text(rows, header=HEADER):
+    return "\n".join([header] + rows) + "\n"
+
+
+def hourly_rows(days=1, value=lambda day, hour: 100.0 * (6 <= hour <= 18)):
+    rows = []
+    for day in range(days):
+        for hour in range(24):
+            rows.append(
+                f"03/{day + 1:02d}/2010,{hour:02d}:00,{value(day, hour)},5.0"
+            )
+    return rows
+
+
+def assert_channels_identical(streamed, parsed):
+    assert streamed.values.tobytes() == parsed.values.tobytes()
+    assert streamed.resolution_minutes == parsed.resolution_minutes
+    assert streamed.channel == parsed.channel
+    assert streamed.channels == parsed.channels
+    assert streamed.start_date == parsed.start_date
+
+
+class TestScan:
+    def test_metadata_matches_whole_file_parse(self):
+        text = midc_text(hourly_rows(days=3))
+        info = scan_midc(io.StringIO(text))
+        parsed = parse_midc(io.StringIO(text))
+        assert info.resolution_minutes == parsed.resolution_minutes
+        assert info.channel == parsed.channel
+        assert info.channels == parsed.channels
+        assert info.n_days == parsed.n_days
+        assert info.samples_per_day == parsed.samples_per_day
+        assert info.start_date == parsed.start_date
+        assert info.n_rows == 72
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            [],
+            ["03/01/2010,00:00,100.0,5.0", "03/01/2010,00:17,50.0,5.0"],
+        ],
+        ids=["empty", "off-grid"],
+    )
+    def test_error_parity_with_parse(self, rows):
+        text = midc_text(rows)
+        with pytest.raises(IngestError) as parse_err:
+            parse_midc(io.StringIO(text))
+        with pytest.raises(IngestError) as scan_err:
+            scan_midc(io.StringIO(text))
+        assert str(scan_err.value) == str(parse_err.value)
+
+    def test_span_guard(self):
+        rows = [
+            "01/01/2010,00:00,1.0,5.0",
+            "01/01/2019,00:00,1.0,5.0",
+        ]
+        with pytest.raises(IngestError, match="spans"):
+            scan_midc(io.StringIO(midc_text(rows)))
+
+
+class TestIterDays:
+    def test_chunks_match_parse_day_rows(self):
+        text = midc_text(hourly_rows(days=4))
+        parsed = parse_midc(io.StringIO(text))
+        days = parsed.values.reshape(parsed.n_days, -1)
+        chunks = list(iter_days(io.StringIO(text)))
+        assert len(chunks) == parsed.n_days
+        for i, chunk in enumerate(chunks):
+            assert chunk.values.tobytes() == days[i].tobytes()
+            assert chunk.values.size == parsed.samples_per_day
+        assert chunks[0].date == parsed.start_date
+
+    def test_gap_days_yielded_all_nan(self):
+        rows = [
+            "03/01/2010,00:00,10.0,5.0",
+            "03/01/2010,01:00,20.0,5.0",
+            "03/04/2010,00:00,30.0,5.0",
+        ]
+        chunks = list(iter_days(io.StringIO(midc_text(rows))))
+        assert [c.date for c in chunks] == [
+            "2010-03-01", "2010-03-02", "2010-03-03", "2010-03-04",
+        ]
+        assert np.all(np.isnan(chunks[1].values))
+        assert np.all(np.isnan(chunks[2].values))
+
+    def test_out_of_order_dates_rejected(self):
+        rows = [
+            "03/02/2010,00:00,10.0,5.0",
+            "03/01/2010,00:00,20.0,5.0",
+        ]
+        with pytest.raises(IngestError, match="grouped by date"):
+            list(iter_days(io.StringIO(midc_text(rows))))
+
+    def test_duplicate_timestamp_rejected(self):
+        rows = [
+            "03/01/2010,00:00,10.0,5.0",
+            "03/01/2010,00:00,20.0,5.0",
+        ]
+        with pytest.raises(IngestError, match="duplicate timestamp"):
+            list(iter_days(io.StringIO(midc_text(rows))))
+
+    def test_lazy_one_day_lookahead(self):
+        """Consuming a chunk reads at most one day past its rows."""
+        n_days = 10
+        text = midc_text(hourly_rows(days=n_days))
+
+        class CountingLines:
+            def __init__(self, text):
+                self._lines = iter(text.splitlines(keepends=True))
+                self.consumed = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                line = next(self._lines)
+                self.consumed += 1
+                return line
+
+        source = CountingLines(text)
+        chunks = iter_days(source, resolution_minutes=60)
+        next(chunks)
+        # Day 1 is yielded once day 2's first row shows the date change:
+        # header + 24 rows of day 1 + at most a handful of day-2 rows.
+        assert source.consumed <= 1 + 24 + 2
+        remaining = list(chunks)
+        assert len(remaining) == n_days - 1
+
+    def test_non_seekable_stream_needs_explicit_resolution(self):
+        text = midc_text(hourly_rows(days=1))
+
+        lines = iter(text.splitlines(keepends=True))
+        with pytest.raises(IngestError, match="resolution_minutes"):
+            list(iter_days(lines))
+        # Same one-shot source works once the scan pass is unnecessary.
+        lines = iter(text.splitlines(keepends=True))
+        chunks = list(iter_days(lines, resolution_minutes=60))
+        assert len(chunks) == 1
+
+    def test_bad_explicit_resolution(self):
+        with pytest.raises(IngestError, match="divide a day"):
+            list(iter_days(io.StringIO(midc_text(hourly_rows())), resolution_minutes=7))
+
+
+class TestStreamParity:
+    def test_sample_file_stream_channel_identical(self):
+        streamed = stream_channel(sample_csv_path())
+        parsed = parse_midc(sample_csv_path())
+        assert_channels_identical(streamed, parsed)
+
+    @pytest.mark.parametrize("resolution", [None, 15])
+    def test_sample_file_ingest_stream_identical(self, resolution):
+        whole = ingest_csv(sample_csv_path(), resolution_minutes=resolution)
+        streamed = ingest_stream(sample_csv_path(), resolution_minutes=resolution)
+        assert streamed.raw.values.tobytes() == whole.raw.values.tobytes()
+        assert streamed.clean.values.tobytes() == whole.clean.values.tobytes()
+        for flag in ("missing", "spike", "stuck", "dropout"):
+            assert (
+                getattr(streamed.report, flag).tobytes()
+                == getattr(whole.report, flag).tobytes()
+            )
+        assert streamed.start_date == whole.start_date
+        assert streamed.channel == whole.channel
+        assert streamed.native_resolution_minutes == whole.native_resolution_minutes
+        # The replay round trip survives the streaming path too.
+        np.testing.assert_array_equal(
+            streamed.scenario.apply(streamed.clean).values, streamed.raw.values
+        )
+
+    def test_seekable_stream_source(self):
+        text = midc_text(hourly_rows(days=3))
+        whole = ingest_csv(io.StringIO(text))
+        streamed = ingest_stream(io.StringIO(text))
+        assert streamed.clean.values.tobytes() == whole.clean.values.tobytes()
+
+    def test_non_seekable_stream_rejected_clearly(self):
+        text = midc_text(hourly_rows(days=1))
+        with pytest.raises(IngestError, match="two passes"):
+            ingest_stream(iter(text.splitlines(keepends=True)))
+
+    # Generated files: arbitrary day patterns with missing cells,
+    # sentinel values and absent rows must stream byte-identically.
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.lists(
+                st.one_of(
+                    st.none(),  # row absent
+                    st.just("-9999"),  # sentinel -> NaN
+                    st.just(""),  # empty cell -> NaN
+                    st.floats(0, 900, allow_nan=False).map(lambda v: f"{v:.1f}"),
+                ),
+                min_size=24,
+                max_size=24,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_generated_files_stream_identically(self, data):
+        rows = []
+        for day, cells in enumerate(data):
+            for hour, cell in enumerate(cells):
+                if cell is None:
+                    continue
+                rows.append(f"03/{day + 1:02d}/2010,{hour:02d}:00,{cell},5.0")
+        text = midc_text(rows)
+        try:
+            parsed = parse_midc(io.StringIO(text))
+        except IngestError as exc:
+            # Degenerate inputs (no rows, or too few distinct minutes to
+            # infer the grid) must fail identically in both paths.
+            with pytest.raises(IngestError, match=re.escape(str(exc))):
+                stream_channel(io.StringIO(text))
+            return
+        streamed = stream_channel(io.StringIO(text))
+        assert_channels_identical(streamed, parsed)
+
+
+class TestParserHardening:
+    """BOM, CRLF and padded sentinels must not derail any read mode."""
+
+    def bom_crlf_text(self):
+        rows = hourly_rows(days=2)
+        return "\ufeff" + "\r\n".join([HEADER] + rows) + "\r\n"
+
+    def test_bom_and_crlf_stream(self):
+        plain = parse_midc(io.StringIO(midc_text(hourly_rows(days=2))))
+        hardened = parse_midc(io.StringIO(self.bom_crlf_text()))
+        assert_channels_identical(hardened, plain)
+
+    def test_bom_and_crlf_path(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(self.bom_crlf_text().encode("utf-8"))
+        plain = parse_midc(io.StringIO(midc_text(hourly_rows(days=2))))
+        for read in (parse_midc, stream_channel):
+            assert_channels_identical(read(path), plain)
+
+    def test_utf8_sig_double_bom_path(self, tmp_path):
+        # Files saved by BOM-happy tooling: encoder adds its own BOM.
+        path = tmp_path / "sig.csv"
+        path.write_text(midc_text(hourly_rows(days=1)), encoding="utf-8-sig")
+        parsed = parse_midc(path)
+        assert parsed.channel == "Global Horizontal [W/m^2]"
+        assert parsed.n_days == 1
+
+    def test_sentinel_with_padding_is_missing(self):
+        rows = [
+            "03/01/2010,00:00, -9999.0 ,5.0",
+            "03/01/2010,01:00,  -99999 ,5.0",
+            "03/01/2010,02:00, 42.0 ,5.0",
+        ]
+        parsed = parse_midc(io.StringIO(midc_text(rows)))
+        assert np.isnan(parsed.values[0])
+        assert np.isnan(parsed.values[1])
+        assert parsed.values[2] == 42.0
+        streamed = stream_channel(io.StringIO(midc_text(rows)))
+        assert streamed.values.tobytes() == parsed.values.tobytes()
+
+
+class TestIngestMemoLock:
+    def test_concurrent_ingest_runs_once(self, tmp_path, monkeypatch):
+        """Racing threads share one ingestion, not one each."""
+        from repro.solar.ingest import sites as sites_mod
+
+        csv_path = tmp_path / "memo.csv"
+        rows = hourly_rows(days=2)
+        csv_path.write_text(midc_text(rows))
+
+        calls = []
+        real_ingest = sites_mod.ingest_csv
+        started = threading.Barrier(8 + 1, timeout=10)
+
+        def counting_ingest(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return real_ingest(*args, **kwargs)
+
+        monkeypatch.setattr(sites_mod, "ingest_csv", counting_ingest)
+        site = sites_mod.MeasuredSite(
+            name="MEMO",
+            path=str(csv_path),
+            channel=None,
+            resolution_minutes=None,
+            samples_per_day=24,
+            n_days=2,
+        )
+        results = []
+
+        def worker():
+            started.wait()
+            results.append(site.ingest())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        started.wait()
+        for t in threads:
+            t.join(timeout=30)
+        try:
+            assert len(results) == 8
+            assert len(calls) == 1, "memoised ingest ran more than once"
+            assert all(r is results[0] for r in results)
+        finally:
+            sites_mod._INGEST_CACHE.clear()
