@@ -15,7 +15,6 @@ that favour recent slots.  This bench ablates both on a variable site:
 import numpy as np
 from conftest import run_once
 
-from repro.core.optimizer import grid_search
 from repro.core.wcma import WCMABatch
 from repro.metrics.roi import roi_mask
 from repro.solar.datasets import build_dataset

@@ -43,7 +43,7 @@ def test_bench_calibration(benchmark, full_days):
 
     print(f"\nCalibration round trip ({SITE}, {N_SLOTS} slots):")
     print(
-        f"  clear/partly/overcast: source "
+        "  clear/partly/overcast: source "
         f"{src.clear_fraction:.2f}/{src.partly_fraction:.2f}/{src.overcast_fraction:.2f}"
         f"  regen {regen.clear_fraction:.2f}/{regen.partly_fraction:.2f}/{regen.overcast_fraction:.2f}"
     )

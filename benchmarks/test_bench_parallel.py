@@ -182,7 +182,7 @@ def test_bench_robustness_resume(tmp_path):
         },
     )
     assert hit_fraction >= 0.9, (
-        f"resume should serve >= 90% of cells from cache, got "
+        "resume should serve >= 90% of cells from cache, got "
         f"{stats[0].cache_hits}/{stats[0].n_units}"
     )
     assert resumed.rows == fresh.rows

@@ -49,7 +49,7 @@ def main() -> None:
     fitted = calibrate_site(source, latitude, name=f"{SITE}-FIT")
     mix = fitted.day_type_model.stationary_distribution()
     print(
-        f"  fitted day-type chain stationary mix: "
+        "  fitted day-type chain stationary mix: "
         f"{mix[0]:.2f}/{mix[1]:.2f}/{mix[2]:.2f}"
     )
 

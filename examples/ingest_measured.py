@@ -73,7 +73,7 @@ def main() -> None:
             if row["site"] == site.name and row["scenario"] != "clean"
         ]
         print(
-            f"\nmeasured-site dropout degradation: "
+            "\nmeasured-site dropout degradation: "
             f"{float(np.mean(degradations)):+.2f}pp"
         )
     finally:

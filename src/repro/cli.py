@@ -141,6 +141,46 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
     summarize_p.add_argument("--predictor", default="wcma")
 
+    learn_p = sub.add_parser(
+        "learn",
+        help="train learned-tier artifacts and score them on held-out days",
+    )
+    learn_p.add_argument(
+        "--days", type=_positive_int, default=45, help="trace length in days (default 45)"
+    )
+    learn_p.add_argument(
+        "--sites",
+        nargs="+",
+        default=None,
+        metavar="SITE",
+        help="sites to train on (default PFCI HSU)",
+    )
+    learn_p.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        choices=("ridge", "gbm"),
+        metavar="KIND",
+        help="model kinds to fit (default: ridge gbm)",
+    )
+    learn_p.add_argument(
+        "--train-days",
+        type=_positive_int,
+        default=None,
+        metavar="DAYS",
+        help="days reserved for training (default 30); scoring starts after",
+    )
+    learn_p.add_argument("--n", type=_positive_int, default=48, help="slots per day")
+    learn_p.add_argument(
+        "--seed", type=_non_negative_int, default=0, help="training seed"
+    )
+    learn_p.add_argument(
+        "--model-dir",
+        default=None,
+        metavar="PATH",
+        help="persist the fitted artifacts here (for serve --model-dir)",
+    )
+
     fleet_p = sub.add_parser(
         "fleet",
         help="simulate a heterogeneous node fleet in lock-step",
@@ -355,6 +395,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="serve HTTP on this port instead of stdin JSONL (0 = auto-pick)",
+    )
+    serve_p.add_argument(
+        "--model-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "load learned-tier artifacts from here: a site registering "
+            "with a stored (site, predictor) artifact serves it frozen"
+        ),
     )
 
     plot_p = sub.add_parser("plot", help="render a figure as a text chart")
@@ -643,6 +692,31 @@ def _dispatch(args) -> int:
         print(format_summary(summarise(run)))
         return 0
 
+    if args.command == "learn":
+        from repro.experiments.learn import DEFAULT_TRAIN_DAYS
+        from repro.experiments.learn import run as run_learn
+
+        train_days = (
+            args.train_days if args.train_days is not None else DEFAULT_TRAIN_DAYS
+        )
+        try:
+            result = run_learn(
+                n_days=args.days,
+                sites=args.sites,
+                models=tuple(args.models) if args.models else ("ridge", "gbm"),
+                train_days=train_days,
+                n_slots=args.n,
+                seed=args.seed,
+                store_dir=args.model_dir,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.model_dir is not None:
+            print(f"artifacts written to {args.model_dir}")
+        return 0
+
     if args.command == "fleet":
         from repro.experiments.fleet import (
             build_fleet_specs,
@@ -806,6 +880,7 @@ def _dispatch(args) -> int:
                 predictor=args.predictor,
                 state_dir=args.state_dir,
                 checkpoint_every=args.checkpoint_every,
+                model_dir=args.model_dir,
             )
             if args.http is not None:
                 return serve_http(service, port=args.http)

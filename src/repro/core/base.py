@@ -354,6 +354,18 @@ class FleetDayHistory:
         rows = self._recent_rows(use)
         return rows[:, slot % self.n_slots, :].mean(axis=0)
 
+    def slot_history(self, slot: int, depth: Optional[int] = None) -> np.ndarray:
+        """Samples of ``slot`` over the last ``depth`` complete days.
+
+        ``(use, B)``, oldest first (the fleet counterpart of
+        :meth:`DayHistory.slot_column`); empty when no complete day is
+        available yet.
+        """
+        use = self.n_complete_days if depth is None else min(depth, self.n_complete_days)
+        if use == 0:
+            return np.empty((0, self.batch_size), dtype=float)
+        return self._recent_rows(use)[:, slot % self.n_slots, :].copy()
+
     def mu_rows(self, depth: Optional[int] = None) -> Optional[np.ndarray]:
         """Per-node ``μ_D`` over every slot: ``(n_slots, B)`` or None.
 
@@ -378,3 +390,42 @@ class FleetDayHistory:
         self._n_complete = 0
         self._write_row = 0
         self._slot = 0
+
+    def state_dict(self) -> dict:
+        """Snapshot of the fleet ring buffer (value copies, not views)."""
+        return {
+            "n_slots": self.n_slots,
+            "depth": self.depth,
+            "batch_size": self.batch_size,
+            "rows": self._rows.copy(),
+            "n_complete": self._n_complete,
+            "write_row": self._write_row,
+            "current": self._current.copy(),
+            "slot": self._slot,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (geometry must match)."""
+        if (
+            int(state["n_slots"]) != self.n_slots
+            or int(state["depth"]) != self.depth
+            or int(state["batch_size"]) != self.batch_size
+        ):
+            raise ValueError(
+                f"fleet history snapshot is {state['depth']}x{state['n_slots']}"
+                f"xB{state['batch_size']}; this history is "
+                f"{self.depth}x{self.n_slots}xB{self.batch_size}"
+            )
+        rows = np.asarray(state["rows"], dtype=float)
+        current = np.asarray(state["current"], dtype=float)
+        if rows.shape != self._rows.shape or current.shape != self._current.shape:
+            raise ValueError(
+                f"fleet history snapshot arrays have shapes {rows.shape}/"
+                f"{current.shape}; expected {self._rows.shape}/"
+                f"{self._current.shape}"
+            )
+        self._rows[...] = rows
+        self._current[...] = current
+        self._n_complete = int(state["n_complete"])
+        self._write_row = int(state["write_row"])
+        self._slot = int(state["slot"])

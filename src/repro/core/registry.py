@@ -12,13 +12,20 @@ defaults:
 ``moving-average`` :class:`~repro.core.baselines.MovingAveragePredictor`
 ========== =====================================================
 
+plus the learned tier (``ridge``, ``gbm`` --
+:class:`~repro.learn.predictor.LearnedPredictor`, online self-fitting
+unless constructed with a fitted ``artifact=``) and the Table-V
+adaptive selectors (``adaptive``, ``adaptive-greedy``, ``hedge`` --
+:mod:`repro.core.adaptive` on the compact expert grid).
+
 Each entry may additionally carry a *vector factory* producing the
 lock-step fleet kernel (:class:`~repro.core.base.VectorPredictor`) for
 the same name; :func:`supports_vector` reports availability and
 :func:`make_vector_predictor` constructs one per fleet group.  The five
-predictors above all ship vector kernels; ``pro-energy``, ``ar`` and
-``linear-trend`` are scalar-only (the fleet simulator falls back to one
-scalar instance per node for those).
+predictors above and the learned tier all ship vector kernels;
+``pro-energy``, ``ar``, ``linear-trend`` and the adaptive selectors are
+scalar-only (the fleet simulator falls back to one scalar instance per
+node for those).
 
 Third-party predictors can be added with :func:`register` (pass
 ``overwrite=True`` to replace an existing entry, e.g. when reloading in
@@ -171,6 +178,67 @@ def _make_proenergy(n_slots: int, **kwargs):
     return ProEnergyPredictor(n_slots, **kwargs)
 
 
+def _make_ridge(n_slots: int, **kwargs):
+    from repro.learn.predictor import LearnedPredictor
+
+    return LearnedPredictor(n_slots, model="ridge", **kwargs)
+
+
+def _make_ridge_vector(n_slots: int, batch_size: int, **kwargs):
+    from repro.learn.predictor import LearnedKernel
+
+    return LearnedKernel(n_slots, batch_size=batch_size, model="ridge", **kwargs)
+
+
+def _make_gbm(n_slots: int, **kwargs):
+    from repro.learn.predictor import LearnedPredictor
+
+    return LearnedPredictor(n_slots, model="gbm", **kwargs)
+
+
+def _make_gbm_vector(n_slots: int, batch_size: int, **kwargs):
+    from repro.learn.predictor import LearnedKernel
+
+    return LearnedKernel(n_slots, batch_size=batch_size, model="gbm", **kwargs)
+
+
+def _selector_grid(days, alphas, ks):
+    from repro.core.adaptive import compact_grid
+
+    grid_kwargs = {}
+    if days is not None:
+        grid_kwargs["days"] = days
+    if alphas is not None:
+        grid_kwargs["alphas"] = tuple(alphas)
+    if ks is not None:
+        grid_kwargs["ks"] = tuple(int(k) for k in ks)
+    return compact_grid(**grid_kwargs)
+
+
+def _make_adaptive(n_slots: int, days=None, alphas=None, ks=None, **kwargs):
+    from repro.core.adaptive import SoftminSelector
+
+    return SoftminSelector(
+        n_slots, grid=_selector_grid(days, alphas, ks), **kwargs
+    )
+
+
+def _make_adaptive_greedy(n_slots: int, days=None, alphas=None, ks=None, **kwargs):
+    from repro.core.adaptive import EpsilonGreedySelector
+
+    return EpsilonGreedySelector(
+        n_slots, grid=_selector_grid(days, alphas, ks), **kwargs
+    )
+
+
+def _make_hedge(n_slots: int, days=None, alphas=None, ks=None, **kwargs):
+    from repro.core.adaptive import HedgeSelector
+
+    return HedgeSelector(
+        n_slots, grid=_selector_grid(days, alphas, ks), **kwargs
+    )
+
+
 def _make_ar(n_slots: int, **kwargs):
     from repro.core.regression import ARPredictor
 
@@ -215,3 +283,16 @@ register(
 register("pro-energy", _make_proenergy)
 register("ar", _make_ar)
 register("linear-trend", _make_trend)
+# The learned tier (repro.learn): online self-fitting by default; pass
+# artifact=ModelArtifact for the frozen train/serve split.  Lazy imports
+# keep the registry import-light for callers that never touch them.
+register("ridge", _make_ridge, vector_factory=_make_ridge_vector)
+register("gbm", _make_gbm, vector_factory=_make_gbm_vector)
+# The Table-V adaptive selectors (repro.core.adaptive) on the compact
+# expert grid; scalar-only, like pro-energy (an expert ensemble has no
+# lock-step vector form yet).  "adaptive" is the softmin-blended
+# leaderboard -- the configuration that beats the re-tuned WCMA on the
+# regime-shift robustness cells.
+register("adaptive", _make_adaptive)
+register("adaptive-greedy", _make_adaptive_greedy)
+register("hedge", _make_hedge)

@@ -69,6 +69,7 @@ from repro.solar.scenarios import (
 __all__ = [
     "DEFAULT_SCENARIOS",
     "DEFAULT_MATRIX_PREDICTORS",
+    "LEARNED_MATRIX_PREDICTORS",
     "TUNED_WCMA_LABEL",
     "scenarios_for",
     "run",
@@ -98,6 +99,15 @@ DEFAULT_SCENARIOS = (
 #: Registry predictors scored per cell by default.  WCMA runs at the
 #: paper's recommended (alpha=0.7, D=10, K=2).
 DEFAULT_MATRIX_PREDICTORS = ("wcma", "ewma", "persistence")
+
+#: The learned-tier slice: the trainable predictors (``ridge``, ``gbm``
+#: -- online self-fitting :class:`~repro.learn.predictor.LearnedPredictor`)
+#: and the softmin adaptive selector next to the WCMA/EWMA baselines.
+#: ``repro-solar robustness --predictors ridge gbm adaptive wcma ewma``
+#: and the learned golden pin both run exactly this list; on the
+#: regime-shift cells the adaptive selector beats every fixed-parameter
+#: WCMA configuration, including the per-cell re-tuned one.
+LEARNED_MATRIX_PREDICTORS = ("wcma", "ewma", "ridge", "gbm", "adaptive")
 
 #: Row label of the re-tuned WCMA (full grid search per cell).
 TUNED_WCMA_LABEL = "wcma-tuned"

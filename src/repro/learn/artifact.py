@@ -1,0 +1,238 @@
+"""Versioned, picklable model artifacts: the train half of train/serve.
+
+A :class:`ModelArtifact` is everything ``fit()`` produced: the fitted
+parameter dict, the feature/training configuration that shaped it, the
+feature-schema version it was built against, and provenance (site,
+trace length, training rows, in-sample error).  Artifacts are frozen --
+serving never mutates one -- and deterministic: for a fixed seed the
+whole artifact is byte-identical across processes and
+``PYTHONHASHSEED`` values (every dict is built in fixed key order and
+every array in a fixed dtype/layout), which
+``tests/learn/test_determinism.py`` pins via subprocesses.
+
+:class:`ArtifactStore` persists them with the exact envelope pattern of
+:class:`repro.serve.state.StateStore` -- a pickled
+``{format, version, site, model, feature_schema, artifact}`` dict
+written atomically (temp file + ``os.replace``) -- and its loader
+additionally validates the **feature schema**: an artifact trained
+against a different :data:`~repro.learn.features.FEATURE_SCHEMA_VERSION`
+is rejected with an error naming both versions, because feeding
+schema-v1 features to schema-v2 weights would silently mis-predict
+(the bug class the plain format/version/site checks cannot catch).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro.learn.features import FEATURE_SCHEMA_VERSION
+from repro.learn.models import MODEL_KINDS
+from repro.serve.state import state_digest
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ModelArtifact",
+    "ArtifactStore",
+]
+
+ARTIFACT_FORMAT = "repro-solar model artifact"
+
+#: Bump when the envelope layout changes; load refuses other versions.
+ARTIFACT_VERSION = 1
+
+_SUFFIX = ".model.pkl"
+
+
+class ArtifactError(ValueError):
+    """An artifact file exists but cannot serve this build."""
+
+
+def _slug(name: str) -> str:
+    """File-name-safe form of a site/model name."""
+    cleaned = "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+    return cleaned or "x"
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """One fitted model plus everything needed to serve it faithfully.
+
+    Attributes
+    ----------
+    site:
+        Dataset the model was trained on (upper-cased site name).
+    model:
+        Model kind (``ridge`` / ``gbm``), matching the registry name.
+    n_slots:
+        Slot grid the features were built on.
+    feature_schema:
+        :data:`~repro.learn.features.FEATURE_SCHEMA_VERSION` at
+        training time.
+    feature_config / training:
+        Plain-dict forms of the configs (``FeatureConfig.to_dict()``,
+        ``TrainingConfig.to_dict()`` plus provenance keys
+        ``train_days``/``train_rows``/``train_mape``).
+    params:
+        The fitted parameter dict of :mod:`repro.learn.models`.
+    """
+
+    site: str
+    model: str
+    n_slots: int
+    feature_schema: int
+    feature_config: dict
+    training: dict
+    params: dict
+
+    def __post_init__(self):
+        if self.model not in MODEL_KINDS:
+            raise ValueError(
+                f"unknown model kind {self.model!r}; known: {MODEL_KINDS}"
+            )
+        if self.n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (fixed key order; pickles byte-stably)."""
+        return {
+            "site": self.site,
+            "model": self.model,
+            "n_slots": self.n_slots,
+            "feature_schema": self.feature_schema,
+            "feature_config": dict(self.feature_config),
+            "training": dict(self.training),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelArtifact":
+        return cls(
+            site=str(data["site"]),
+            model=str(data["model"]),
+            n_slots=int(data["n_slots"]),
+            feature_schema=int(data["feature_schema"]),
+            feature_config=dict(data["feature_config"]),
+            training=dict(data["training"]),
+            params=dict(data["params"]),
+        )
+
+    def digest(self) -> str:
+        """Value-based content fingerprint (16 hex chars).
+
+        Reuses :func:`repro.serve.state.state_digest`, so equal
+        artifacts digest equally regardless of interning or a pickle
+        round trip; serve audit lines and the determinism tests both
+        key on this.
+        """
+        return state_digest(self.to_dict())
+
+
+class ArtifactStore:
+    """One directory of atomic per-``(site, model)`` artifacts.
+
+    Mirrors :class:`repro.serve.state.StateStore`: plain directory, one
+    file per pair, every write a temp file + ``os.replace`` so readers
+    always see a complete artifact.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def path_for(self, site: str, model: str) -> Path:
+        """Artifact path of one ``(site, model)`` pair."""
+        return self.root / f"{_slug(site)}__{_slug(model)}{_SUFFIX}"
+
+    # -- write ---------------------------------------------------------
+    def save(self, artifact: ModelArtifact) -> str:
+        """Atomically persist ``artifact``; returns its digest."""
+        path = self.path_for(artifact.site, artifact.model)
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "site": artifact.site,
+            "model": artifact.model,
+            "feature_schema": artifact.feature_schema,
+            "artifact": artifact.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return artifact.digest()
+
+    # -- read ----------------------------------------------------------
+    def load(self, site: str, model: str) -> Optional[ModelArtifact]:
+        """The saved artifact, or None when none exists for the pair.
+
+        Raises :class:`ArtifactError` when a file exists but is not a
+        version-compatible artifact of this ``(site, model)`` pair *or*
+        was trained against a different feature schema -- serving a
+        model on features it was not trained on must be loud, never a
+        silent mis-prediction.
+        """
+        path = self.path_for(site, model)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise ArtifactError(f"cannot read artifact file {path}: {exc}")
+        if not isinstance(envelope, dict) or envelope.get("format") != ARTIFACT_FORMAT:
+            raise ArtifactError(f"{path} is not a {ARTIFACT_FORMAT!r} file")
+        version = envelope.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ArtifactError(
+                f"{path} has artifact-format version {version}; this build "
+                f"reads version {ARTIFACT_VERSION}"
+            )
+        if envelope.get("site") != site or envelope.get("model") != model:
+            raise ArtifactError(
+                f"{path} holds the ({envelope.get('site')}, "
+                f"{envelope.get('model')}) artifact; expected ({site}, {model})"
+            )
+        schema = envelope.get("feature_schema")
+        if schema != FEATURE_SCHEMA_VERSION:
+            raise ArtifactError(
+                f"{path} was trained against feature-schema version "
+                f"{schema}; this build computes feature-schema version "
+                f"{FEATURE_SCHEMA_VERSION} -- retrain the artifact "
+                "(its features no longer mean what the weights expect)"
+            )
+        return ModelArtifact.from_dict(envelope["artifact"])
+
+    def entries(self) -> Iterator[Tuple[str, str]]:
+        """Yield the ``(site, model)`` pairs stored here.
+
+        Read from the envelopes, not file names, so slugged names
+        round-trip; unreadable files are skipped (listing is
+        informational -- :meth:`load` is where corruption is loud).
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            try:
+                with open(path, "rb") as handle:
+                    envelope = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                continue
+            if (
+                isinstance(envelope, dict)
+                and envelope.get("format") == ARTIFACT_FORMAT
+            ):
+                yield envelope["site"], envelope["model"]

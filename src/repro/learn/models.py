@@ -1,0 +1,255 @@
+"""Seeded trainable models for the learned predictor tier (numpy only).
+
+Two model families, both deliberately small and fully deterministic:
+
+* :func:`fit_ridge` -- a deterministic standardizer (zero-variance
+  columns get unit scale instead of dividing by zero) followed by a
+  closed-form ridge regression via the normal equations.  No iteration,
+  no randomness: byte-identical weights for identical inputs.
+* :func:`fit_gbm` -- gradient-boosted regression stumps on the raw
+  features (stumps are scale-invariant, so no standardizer).  Each
+  round greedily picks the (feature, quantile-threshold) split with the
+  best squared-error gain over an optionally subsampled row set; ties
+  break toward the lowest (feature, threshold) index and the subsample
+  comes from a caller-supplied ``numpy`` Generator, so training is a
+  pure function of ``(X, y, config, seed)`` -- independent of process,
+  platform hash seed, or dict order.
+
+Model parameters are plain dicts of numpy arrays/scalars with a
+``kind`` tag, built in a fixed key order so pickled artifacts are
+byte-stable; :func:`predict_model` scores a whole ``(n, F)`` matrix and
+is what offline evaluation uses, while the online kernel keeps stacked
+per-node copies of the same arrays for batched prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "MODEL_KINDS",
+    "TrainingConfig",
+    "fit_standardizer",
+    "fit_ridge",
+    "fit_gbm",
+    "fit_model",
+    "predict_model",
+]
+
+#: Registered learned-model kinds (registry names match).
+MODEL_KINDS = ("ridge", "gbm")
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the training loop and both model families.
+
+    One config covers both kinds so a persisted artifact or predictor
+    checkpoint records everything that shaped its weights.
+    """
+
+    min_train_days: int = 8     # complete days before the first online fit
+    refit_days: int = 5         # days between online refits
+    window_days: int = 60       # training window kept by the online kernel
+    ridge_lambda: float = 1e-3  # L2 strength (per-row, standardized X)
+    gbm_rounds: int = 50
+    gbm_learning_rate: float = 0.12
+    gbm_thresholds: int = 15    # quantile split candidates per feature
+    gbm_subsample: float = 0.8  # row fraction per round (1.0 = all rows)
+    gbm_min_leaf: int = 8       # minimum rows on each side of a split
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.min_train_days < 1:
+            raise ValueError("min_train_days must be >= 1")
+        if self.refit_days < 1:
+            raise ValueError("refit_days must be >= 1")
+        if self.window_days < self.min_train_days:
+            raise ValueError("window_days must be >= min_train_days")
+        if self.ridge_lambda < 0:
+            raise ValueError("ridge_lambda must be non-negative")
+        if self.gbm_rounds < 1:
+            raise ValueError("gbm_rounds must be >= 1")
+        if self.gbm_learning_rate <= 0:
+            raise ValueError("gbm_learning_rate must be positive")
+        if self.gbm_thresholds < 1:
+            raise ValueError("gbm_thresholds must be >= 1")
+        if not 0.0 < self.gbm_subsample <= 1.0:
+            raise ValueError("gbm_subsample must be in (0, 1]")
+        if self.gbm_min_leaf < 1:
+            raise ValueError("gbm_min_leaf must be >= 1")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-scalar form, field order fixed by the dataclass."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrainingConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown training-config keys: {unknown}")
+        return cls(**data)
+
+
+def fit_standardizer(X: np.ndarray):
+    """Per-column ``(mean, scale)``; zero-variance columns get scale 1.
+
+    The unit fallback keeps constant columns (night slots, unfired
+    quality flags) finite under transform instead of producing NaNs.
+    """
+    X = np.asarray(X, dtype=float)
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    scale = np.where(std > 1e-12, std, 1.0)
+    return mean, scale
+
+
+def fit_ridge(X: np.ndarray, y: np.ndarray, lam: float) -> dict:
+    """Closed-form ridge on standardized features; returns a param dict.
+
+    Solves ``(Xs^T Xs + lam * n * I) w = Xs^T (y - ybar)`` with ``Xs``
+    standardized, so ``lam`` is a per-row penalty independent of the
+    training-set size, and the intercept (``ybar``) is unpenalised.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, n_features = X.shape
+    mean, scale = fit_standardizer(X)
+    Xs = (X - mean) / scale
+    ybar = float(y.mean())
+    # lam=0 on collinear features would be singular; the per-row ridge
+    # term keeps the system positive definite for any lam > 0.
+    reg = max(lam, 1e-10) * n
+    gram = Xs.T @ Xs + reg * np.eye(n_features)
+    weights = np.linalg.solve(gram, Xs.T @ (y - ybar))
+    return {
+        "kind": "ridge",
+        "mean": mean,
+        "scale": scale,
+        "weights": weights,
+        "intercept": ybar,
+    }
+
+
+def fit_gbm(
+    X: np.ndarray,
+    y: np.ndarray,
+    config: TrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Gradient-boosted regression stumps; returns a param dict.
+
+    The stump arrays always have length ``config.gbm_rounds``: rounds
+    that find no admissible split (degenerate/constant data) append a
+    neutral stump (``left == right == 0``), so stacked per-node arrays
+    in the fleet kernel stay rectangular.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, n_features = X.shape
+    rounds = config.gbm_rounds
+    lr = config.gbm_learning_rate
+    min_leaf = config.gbm_min_leaf
+
+    base = float(y.mean())
+    residual = y - base
+
+    # Split candidates: interior quantiles of each feature, fixed once
+    # over the full training set (subsampling varies rows, not splits).
+    qs = np.arange(1, config.gbm_thresholds + 1) / (config.gbm_thresholds + 1)
+    thresholds = np.quantile(X, qs, axis=0)  # (Q, F)
+
+    feat = np.zeros(rounds, dtype=np.int64)
+    thr = np.zeros(rounds, dtype=float)
+    left = np.zeros(rounds, dtype=float)
+    right = np.zeros(rounds, dtype=float)
+
+    n_sub = n
+    if config.gbm_subsample < 1.0 and rng is not None:
+        n_sub = max(2 * min_leaf, int(n * config.gbm_subsample + 0.5))
+        n_sub = min(n_sub, n)
+
+    for r in range(rounds):
+        if n_sub < n:
+            idx = np.sort(rng.choice(n, size=n_sub, replace=False))
+            Xr, rr = X[idx], residual[idx]
+        else:
+            Xr, rr = X, residual
+        r_total = rr.sum()
+        best_gain = 0.0
+        best = None
+        for f in range(n_features):
+            mask = Xr[:, f, None] <= thresholds[None, :, f]  # (n_sub, Q)
+            n_left = mask.sum(axis=0)
+            n_right = n_sub - n_left
+            ok = (n_left >= min_leaf) & (n_right >= min_leaf)
+            if not ok.any():
+                continue
+            s_left = rr @ mask
+            s_right = r_total - s_left
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = np.where(
+                    ok,
+                    s_left**2 / np.maximum(n_left, 1)
+                    + s_right**2 / np.maximum(n_right, 1),
+                    -np.inf,
+                )
+            q = int(np.argmax(gain))  # first max -> lowest threshold index
+            if gain[q] > best_gain:
+                best_gain = float(gain[q])
+                best = (
+                    f,
+                    float(thresholds[q, f]),
+                    float(s_left[q] / n_left[q]),
+                    float(s_right[q] / n_right[q]),
+                )
+        if best is None:
+            break  # remaining stumps stay neutral (zeros)
+        feat[r], thr[r], left[r], right[r] = best
+        step = np.where(X[:, feat[r]] <= thr[r], left[r], right[r])
+        residual = residual - lr * step
+
+    return {
+        "kind": "gbm",
+        "base": base,
+        "learning_rate": lr,
+        "feat": feat,
+        "thr": thr,
+        "left": left,
+        "right": right,
+    }
+
+
+def fit_model(
+    kind: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    config: TrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Dispatch to the model family's fit function."""
+    if kind == "ridge":
+        return fit_ridge(X, y, config.ridge_lambda)
+    if kind == "gbm":
+        return fit_gbm(X, y, config, rng=rng)
+    raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
+
+
+def predict_model(params: dict, X: np.ndarray) -> np.ndarray:
+    """Score an ``(n, F)`` feature matrix with a fitted param dict."""
+    X = np.asarray(X, dtype=float)
+    kind = params["kind"]
+    if kind == "ridge":
+        Xs = (X - params["mean"]) / params["scale"]
+        return Xs @ params["weights"] + params["intercept"]
+    if kind == "gbm":
+        vals = X[:, params["feat"]]  # (n, R)
+        steps = np.where(vals <= params["thr"], params["left"], params["right"])
+        return params["base"] + params["learning_rate"] * steps.sum(axis=1)
+    raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")

@@ -93,6 +93,15 @@ class ForecastService:
     predictor_kwargs:
         Extra keyword arguments for the predictor factory (for WCMA:
         ``alpha``, ``days``, ``k``).
+    model_dir:
+        Directory of a :class:`~repro.learn.artifact.ArtifactStore`
+        holding trained learned-tier artifacts.  When a site registers
+        and the store has an artifact for ``(dataset, predictor)``, the
+        predictor is constructed *frozen* around it (train/serve split)
+        instead of online self-fitting; sites without a stored artifact
+        fall back to the plain factory.  A stored artifact whose
+        feature-schema version differs from this build's is rejected
+        loudly at registration, never served silently.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class ForecastService:
         state_dir=None,
         checkpoint_every: int = 1,
         predictor_kwargs: Optional[dict] = None,
+        model_dir=None,
     ):
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
@@ -112,10 +122,16 @@ class ForecastService:
         self.checkpoint_every = checkpoint_every
         self.predictor_kwargs = dict(predictor_kwargs or {})
         self.store = StateStore(state_dir) if state_dir is not None else None
+        self.models = None
+        if model_dir is not None:
+            from repro.learn.artifact import ArtifactStore
+
+            self.models = ArtifactStore(model_dir)
         self._nodes: Dict[str, _Node] = {}
         self._lock = threading.RLock()
         self._op_counts: Dict[str, int] = {}
         self._resumed: Dict[str, str] = {}  # site -> digest resumed from
+        self._artifacts: Dict[str, str] = {}  # site -> artifact digest
         # Fail fast on an unknown predictor name / bad kwargs, before
         # the daemon prints its ready line.
         make_predictor(self.predictor_name, n_slots, **self.predictor_kwargs)
@@ -161,9 +177,18 @@ class ForecastService:
             raise ValueError("'dataset' must be a site name")
         dataset = dataset.upper()
         self._check_geometry(dataset)
-        predictor = make_predictor(
-            self.predictor_name, self.n_slots, **self.predictor_kwargs
-        )
+        kwargs = dict(self.predictor_kwargs)
+        artifact = None
+        if self.models is not None:
+            # Schema-mismatched artifacts raise ArtifactError here: the
+            # registration fails loudly instead of serving a model whose
+            # feature layout the code no longer computes.
+            artifact = self.models.load(dataset, self.predictor_name)
+            if artifact is not None:
+                kwargs["artifact"] = artifact
+        predictor = make_predictor(self.predictor_name, self.n_slots, **kwargs)
+        if artifact is not None:
+            self._artifacts[site] = artifact.digest()
         node = _Node(site, dataset, predictor)
         if self.store is not None:
             saved = self.store.load(site, self.predictor_name)
@@ -189,6 +214,9 @@ class ForecastService:
         }
         if site in self._resumed:
             response["resumed_from"] = self._resumed[site]
+        if site in self._artifacts:
+            response["model_digest"] = self._artifacts[site]
+            response["frozen"] = True
         return response
 
     def _op_observe(self, request) -> dict:
@@ -293,6 +321,7 @@ class ForecastService:
             "n_slots": self.n_slots,
             "n_sites": len(self._nodes),
             "persistent": self.store is not None,
+            "artifact_backed": self.models is not None,
             "checkpoint_every": self.checkpoint_every,
             "ops": dict(sorted(self._op_counts.items())),
         }

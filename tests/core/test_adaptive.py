@@ -1,12 +1,13 @@
 """Tests for the realizable adaptive selectors."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptive import (
     EpsilonGreedySelector,
     FollowTheLeaderSelector,
     HedgeSelector,
+    SoftminSelector,
+    compact_grid,
 )
 from repro.core.wcma import WCMAParams
 from repro.metrics.evaluate import evaluate_predictor
@@ -34,6 +35,23 @@ class TestConstruction:
             EpsilonGreedySelector(48, epsilon=2.0)
         with pytest.raises(ValueError):
             HedgeSelector(48, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SoftminSelector(48, tau=0.0)
+
+    def test_compact_grid_accepts_int_or_sequence_days(self):
+        single = compact_grid(days=5, alphas=(0.5,), ks=(2,))
+        multi = compact_grid(days=(5, 10), alphas=(0.5,), ks=(2,))
+        assert [p.days for p in single] == [5]
+        assert sorted(p.days for p in multi) == [5, 10]
+
+    def test_compact_grid_reaches_outside_tuning_grid(self):
+        """The default compact grid must include experts the paper's
+        tuning grid cannot express (off-grid alpha, K past the cap)."""
+        grid = compact_grid()
+        alphas = {p.alpha for p in grid}
+        ks = {p.k for p in grid}
+        assert any(round(a * 10) != a * 10 for a in alphas)  # e.g. 0.55
+        assert max(ks) > 6
 
 
 class TestBehaviour:
@@ -48,6 +66,35 @@ class TestBehaviour:
                 <= prediction
                 <= expert_predictions.max() + 1e-9
             )
+
+    def test_softmin_blend_within_expert_range(self, rng):
+        selector = SoftminSelector(4, days=2, grid=SMALL_GRID, tau=0.25)
+        values = rng.uniform(0, 100, 40)
+        for value in values:
+            prediction = selector.observe(float(value))
+            expert_predictions = selector._last_predictions
+            assert (
+                expert_predictions.min() - 1e-9
+                <= prediction
+                <= expert_predictions.max() + 1e-9
+            )
+
+    def test_softmin_low_tau_approaches_ftl(self, rng):
+        """tau -> 0 collapses the blend onto the leaderboard winner.
+
+        Only after warm-up: while expert scores still tie (cold start),
+        softmin averages the tied experts where FTL picks the first.
+        """
+        sharp = SoftminSelector(4, days=2, grid=SMALL_GRID, tau=1e-9,
+                                discount=0.95)
+        ftl = FollowTheLeaderSelector(4, days=2, grid=SMALL_GRID,
+                                      discount=0.95)
+        values = rng.uniform(0, 100, 60)
+        for t, value in enumerate(values):
+            a = sharp.observe(float(value))
+            b = ftl.observe(float(value))
+            if t >= 40:
+                assert a == pytest.approx(b, abs=1e-6)
 
     def test_ftl_tracks_best_expert_on_easy_data(self):
         """If one expert is exactly right every time, FTL locks onto it."""

@@ -1,6 +1,5 @@
 """Tests for the EWMA predictor and the simple baselines."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import (

@@ -1,6 +1,5 @@
 """Tests for the Pro-Energy-style profile-matching predictor."""
 
-import numpy as np
 import pytest
 
 from repro.core.proenergy import ProEnergyPredictor

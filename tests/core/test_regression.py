@@ -1,6 +1,5 @@
 """Tests for the AR and linear-trend regression predictors."""
 
-import numpy as np
 import pytest
 
 from repro.core.regression import ARPredictor, SlotLinearTrendPredictor

@@ -12,7 +12,6 @@ from repro.core.wcma import (
     mu_matrix,
 )
 from repro.solar.slots import SlotView
-from repro.solar.trace import SolarTrace
 
 
 class TestWCMAParams:

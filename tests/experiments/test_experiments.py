@@ -5,7 +5,6 @@ experiment runs on short traces and we assert structure plus the
 paper's qualitative claims that survive small samples.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import fig2, fig6, fig7, table1, table2, table3, table4, table5

@@ -1,0 +1,64 @@
+"""Tests for the learned-tier train/serve experiment (experiments.learn)."""
+
+import pytest
+
+from repro.experiments.learn import DEFAULT_LEARN_SITES, DEFAULT_TRAIN_DAYS, run
+from repro.learn.artifact import ArtifactStore
+
+# Smallest useful split: default min_train_days=8 warm-up plus the two
+# trainable days fit_artifact insists on -> 10 training days minimum.
+KWARGS = dict(n_days=14, sites=("PFCI",), train_days=10, n_slots=24, seed=3)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(**KWARGS)
+
+
+class TestRun:
+    def test_one_row_per_site_model(self, result):
+        assert [(r["site"], r["model"]) for r in result.rows] == [
+            ("PFCI", "ridge"),
+            ("PFCI", "gbm"),
+        ]
+
+    def test_columns_present_and_sane(self, result):
+        for row in result.rows:
+            for col in ("train_mape", "frozen_mape", "online_mape",
+                        "wcma_mape", "ewma_mape"):
+                assert row[col] >= 0.0
+            assert len(row["digest"]) == 16
+
+    def test_deterministic(self, result):
+        again = run(**KWARGS)
+        assert again.rows == result.rows
+
+    def test_render_mentions_holdout(self, result):
+        text = result.render()
+        assert "10" in text and "ridge" in text and "gbm" in text
+
+    def test_meta_records_split(self, result):
+        assert result.meta["train_days"] == 10
+        assert result.meta["n_days"] == 14
+        assert result.meta["models"] == ("ridge", "gbm")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("train_days", [0, 14, 20])
+    def test_bad_split_rejected(self, train_days):
+        with pytest.raises(ValueError, match="train_days"):
+            run(n_days=14, sites=("PFCI",), train_days=train_days, n_slots=24)
+
+    def test_default_sites(self):
+        assert DEFAULT_LEARN_SITES == ("PFCI", "HSU")
+        assert 0 < DEFAULT_TRAIN_DAYS < 45
+
+
+class TestStoreSideEffect:
+    def test_artifacts_persisted(self, tmp_path):
+        res = run(store_dir=tmp_path, **KWARGS)
+        store = ArtifactStore(tmp_path)
+        assert sorted(store.entries()) == [("PFCI", "gbm"), ("PFCI", "ridge")]
+        for row in res.rows:
+            loaded = store.load(row["site"], row["model"])
+            assert loaded is not None and loaded.digest() == row["digest"]

@@ -306,7 +306,6 @@ class TestMatrixCacheResume:
             tune_wcma=False,
         )
         run(cache=cache, **kwargs)
-        from repro.parallel.cache import MISS
 
         entries = 0
         for sub in sorted((tmp_path / "cache").iterdir()):

@@ -1,6 +1,5 @@
 """Tests for the Q15 fixed-point WCMA implementation."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

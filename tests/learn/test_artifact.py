@@ -1,0 +1,129 @@
+"""Tests for ModelArtifact / ArtifactStore (repro.learn.artifact)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.learn.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ArtifactStore,
+    ModelArtifact,
+)
+from repro.learn.features import FEATURE_SCHEMA_VERSION, FeatureConfig
+from repro.learn.models import TrainingConfig, fit_ridge
+
+
+def _make_artifact(site="PFCI", model="ridge", n_slots=8, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(40, 3))
+    y = rng.normal(size=40)
+    return ModelArtifact(
+        site=site,
+        model=model,
+        n_slots=n_slots,
+        feature_schema=FEATURE_SCHEMA_VERSION,
+        feature_config=FeatureConfig().to_dict(),
+        training=TrainingConfig().to_dict(),
+        params=fit_ridge(X, y, lam=1e-3),
+    )
+
+
+class TestModelArtifact:
+    def test_round_trip_preserves_digest(self):
+        artifact = _make_artifact()
+        clone = ModelArtifact.from_dict(artifact.to_dict())
+        assert clone.digest() == artifact.digest()
+
+    def test_pickle_round_trip_preserves_digest(self):
+        artifact = _make_artifact()
+        clone = pickle.loads(pickle.dumps(artifact.to_dict()))
+        assert ModelArtifact.from_dict(clone).digest() == artifact.digest()
+
+    def test_rejects_unknown_model_kind(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            _make_artifact(model="forest")
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            _make_artifact(n_slots=0)
+
+    def test_digest_tracks_content(self):
+        a = _make_artifact(seed=0)
+        b = _make_artifact(seed=1)
+        assert a.digest() != b.digest()
+
+
+class TestArtifactStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        artifact = _make_artifact()
+        digest = store.save(artifact)
+        loaded = store.load("PFCI", "ridge")
+        assert loaded is not None
+        assert loaded.digest() == digest == artifact.digest()
+        np.testing.assert_array_equal(
+            loaded.params["weights"], artifact.params["weights"]
+        )
+
+    def test_missing_artifact_returns_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load("PFCI", "ridge") is None
+
+    def test_schema_mismatch_is_loud_and_names_both_versions(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(_make_artifact())
+        path = store.path_for("PFCI", "ridge")
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["feature_schema"] = FEATURE_SCHEMA_VERSION + 7
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(ArtifactError) as err:
+            store.load("PFCI", "ridge")
+        message = str(err.value)
+        assert str(FEATURE_SCHEMA_VERSION + 7) in message
+        assert str(FEATURE_SCHEMA_VERSION) in message
+
+    def test_format_version_mismatch_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(_make_artifact())
+        path = store.path_for("PFCI", "ridge")
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["version"] = ARTIFACT_VERSION + 1
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(ArtifactError, match="artifact-format version"):
+            store.load("PFCI", "ridge")
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.path_for("PFCI", "ridge")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            pickle.dump({"whatever": 1}, handle)
+        with pytest.raises(ArtifactError, match=ARTIFACT_FORMAT):
+            store.load("PFCI", "ridge")
+
+    def test_site_model_mismatch_rejected(self, tmp_path):
+        # A file renamed onto another pair's slot must not load.
+        store = ArtifactStore(tmp_path)
+        store.save(_make_artifact(site="PFCI"))
+        src = store.path_for("PFCI", "ridge")
+        dst = store.path_for("HSU", "ridge")
+        dst.write_bytes(src.read_bytes())
+        with pytest.raises(ArtifactError, match="expected"):
+            store.load("HSU", "ridge")
+
+    def test_entries_lists_pairs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(_make_artifact(site="PFCI", model="ridge"))
+        store.save(_make_artifact(site="HSU", model="ridge"))
+        assert sorted(store.entries()) == [("HSU", "ridge"), ("PFCI", "ridge")]
+
+    def test_entries_empty_dir(self, tmp_path):
+        store = ArtifactStore(tmp_path / "nope")
+        assert list(store.entries()) == []

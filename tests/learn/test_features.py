@@ -1,0 +1,106 @@
+"""Tests for the incremental feature builder (repro.learn.features)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.features import (
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    N_FEATURES,
+    FeatureConfig,
+    FeatureState,
+)
+
+
+def _drive(state, values_2d):
+    """Feed a (T, B) matrix one boundary at a time; return (T, B, F)."""
+    out = np.empty((values_2d.shape[0], values_2d.shape[1], N_FEATURES))
+    for t, row in enumerate(values_2d):
+        out[t] = state.step(np.asarray(row, dtype=float))
+    return out
+
+
+class TestSchema:
+    def test_names_match_width(self):
+        assert len(FEATURE_NAMES) == N_FEATURES
+        assert len(set(FEATURE_NAMES)) == N_FEATURES
+
+    def test_schema_version_is_positive_int(self):
+        assert isinstance(FEATURE_SCHEMA_VERSION, int)
+        assert FEATURE_SCHEMA_VERSION >= 1
+
+    def test_config_round_trip(self):
+        config = FeatureConfig(mu_days=3, rolling_window=4)
+        assert FeatureConfig.from_dict(config.to_dict()) == config
+
+    def test_config_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            FeatureConfig.from_dict({"mu_days": 3, "bogus": 1})
+
+
+class TestStep:
+    def test_output_shape_and_finiteness(self, rng):
+        state = FeatureState(8, 3, FeatureConfig())
+        values = rng.uniform(0, 900, size=(40, 3))
+        feats = _drive(state, values)
+        assert feats.shape == (40, 3, N_FEATURES)
+        assert np.isfinite(feats).all()
+
+    def test_deterministic(self, rng):
+        values = rng.uniform(0, 900, size=(30, 2))
+        a = _drive(FeatureState(6, 2, FeatureConfig()), values)
+        b = _drive(FeatureState(6, 2, FeatureConfig()), values)
+        np.testing.assert_array_equal(a, b)
+
+    def test_causal(self, rng):
+        """Features up to t must not depend on samples after t."""
+        values = rng.uniform(0, 900, size=(36, 1))
+        tampered = values.copy()
+        tampered[20:] = 1234.5
+        a = _drive(FeatureState(6, 1, FeatureConfig()), values)
+        b = _drive(FeatureState(6, 1, FeatureConfig()), tampered)
+        np.testing.assert_array_equal(a[:20], b[:20])
+
+    def test_spike_flag(self):
+        config = FeatureConfig(spike_wm2=1000.0)
+        state = FeatureState(4, 1, config)
+        idx = FEATURE_NAMES.index("flag_spike")
+        normal = state.step(np.array([500.0]))
+        spiked = state.step(np.array([5000.0]))
+        assert normal[0, idx] == 0.0
+        assert spiked[0, idx] == 1.0
+
+    def test_dropout_flag_after_zero_run(self):
+        # night_wm2=0 keeps the daylight gate open at every slot with
+        # any clear-sky irradiance, so the zero-run length alone decides.
+        config = FeatureConfig(dropout_slots=3, night_wm2=0.0)
+        state = FeatureState(4, 1, config)
+        idx = FEATURE_NAMES.index("flag_dropout")
+        state.step(np.array([500.0]))
+        flags = [state.step(np.array([0.0]))[0, idx] for _ in range(8)]
+        # The flag must stay off before dropout_slots zeros and engage
+        # at some daylight boundary once the run is long enough.
+        assert max(flags[:2]) == 0.0
+        assert max(flags) == 1.0
+
+
+class TestStateDict:
+    def test_round_trip_continuation(self, rng):
+        values = rng.uniform(0, 900, size=(50, 2))
+        full = FeatureState(5, 2, FeatureConfig())
+        expected = _drive(full, values)
+
+        first = FeatureState(5, 2, FeatureConfig())
+        _drive(first, values[:23])
+        snapshot = first.state_dict()
+
+        resumed = FeatureState(5, 2, FeatureConfig())
+        resumed.load_state_dict(snapshot)
+        tail = _drive(resumed, values[23:])
+        np.testing.assert_array_equal(tail, expected[23:])
+
+    def test_geometry_mismatch_rejected(self):
+        state = FeatureState(5, 2, FeatureConfig())
+        other = FeatureState(6, 2, FeatureConfig())
+        with pytest.raises(ValueError):
+            other.load_state_dict(state.state_dict())

@@ -1,0 +1,209 @@
+"""Tests for LearnedKernel / LearnedPredictor (repro.learn.predictor)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.artifact import ModelArtifact
+from repro.learn.features import FEATURE_SCHEMA_VERSION
+from repro.learn.models import TrainingConfig
+from repro.learn.predictor import LearnedKernel, LearnedPredictor
+from repro.learn.training import fit_artifact
+
+# Small, fast config used throughout: first fit after 2 days, refit
+# every 2 days, tiny GBM.
+FAST = TrainingConfig(
+    min_train_days=2,
+    refit_days=2,
+    window_days=5,
+    gbm_rounds=8,
+    gbm_thresholds=7,
+)
+
+
+def _sine_values(n_slots, n_days, amplitude=600.0):
+    t = np.arange(n_slots * n_days)
+    day = np.sin(np.pi * ((t % n_slots) / n_slots)) ** 2
+    return amplitude * day
+
+
+class TestConstruction:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedKernel(0)
+        with pytest.raises(ValueError):
+            LearnedKernel(8, batch_size=0)
+
+    def test_bad_feedback_rejected(self):
+        with pytest.raises(ValueError, match="feedback"):
+            LearnedKernel(8, feedback="psychic")
+
+    def test_bad_fallback_alpha_rejected(self):
+        with pytest.raises(ValueError, match="fallback_alpha"):
+            LearnedKernel(8, fallback_alpha=1.5)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model kind"):
+            LearnedKernel(8, model="forest")
+
+
+class TestOnlineMode:
+    def test_fallback_before_first_fit(self):
+        kernel = LearnedKernel(6, model="ridge", training=FAST)
+        assert not kernel.is_fitted
+        out = kernel.observe(np.array([100.0]))
+        assert out.shape == (1,)
+        assert out[0] >= 0.0
+        assert not kernel.is_fitted
+
+    def test_refit_schedule(self):
+        n_slots = 6
+        kernel = LearnedKernel(n_slots, model="ridge", training=FAST)
+        values = _sine_values(n_slots, 7)
+        fits_by_day = []
+        for t, v in enumerate(values):
+            kernel.observe(np.array([v]))
+            if (t + 1) % n_slots == 0:
+                fits_by_day.append(kernel.fit_count)
+        # First fit at day min_train_days=2, then every refit_days=2.
+        assert fits_by_day == [0, 1, 1, 2, 2, 3, 3]
+        assert kernel.is_fitted
+
+    def test_predictions_non_negative_and_finite(self, rng):
+        kernel = LearnedKernel(6, model="gbm", training=FAST)
+        values = rng.uniform(0, 800, size=6 * 8)
+        preds = [kernel.observe(np.array([v]))[0] for v in values]
+        assert np.isfinite(preds).all()
+        assert min(preds) >= 0.0
+
+    def test_reset_forgets_fit(self):
+        n_slots = 6
+        kernel = LearnedKernel(n_slots, model="ridge", training=FAST)
+        for v in _sine_values(n_slots, 4):
+            kernel.observe(np.array([v]))
+        assert kernel.is_fitted
+        kernel.reset()
+        assert not kernel.is_fitted
+        assert kernel.fit_count == 0
+
+
+class TestVectorParity:
+    @pytest.mark.parametrize("model", ["ridge", "gbm"])
+    def test_kernel_matches_scalar_predictors(self, model, rng):
+        """A B=3 kernel must reproduce 3 independent scalar runs exactly."""
+        n_slots, n_days, B = 6, 7, 3
+        values = rng.uniform(0, 900, size=(n_slots * n_days, B))
+        kernel = LearnedKernel(n_slots, batch_size=B, model=model, training=FAST)
+        scalars = [
+            LearnedPredictor(n_slots, model=model, training=FAST)
+            for _ in range(B)
+        ]
+        for row in values:
+            batch = kernel.observe(row.copy())
+            singles = [p.observe(row[b]) for b, p in enumerate(scalars)]
+            np.testing.assert_allclose(batch, singles, rtol=0, atol=1e-9)
+
+    def test_parity_with_slot_mean_feedback(self, rng):
+        n_slots, n_days, B = 6, 6, 2
+        values = rng.uniform(0, 900, size=(n_slots * n_days, B))
+        means = rng.uniform(0, 900, size=(n_slots * n_days, B))
+        kernel = LearnedKernel(n_slots, batch_size=B, model="ridge", training=FAST)
+        scalars = [
+            LearnedPredictor(n_slots, model="ridge", training=FAST)
+            for _ in range(B)
+        ]
+        assert kernel.uses_slot_mean_feedback
+        for t, row in enumerate(values):
+            if t > 0:
+                kernel.provide_slot_mean(means[t - 1])
+                for b, p in enumerate(scalars):
+                    p.provide_slot_mean(means[t - 1][b])
+            batch = kernel.observe(row.copy())
+            singles = [p.observe(row[b]) for b, p in enumerate(scalars)]
+            np.testing.assert_allclose(batch, singles, rtol=0, atol=1e-9)
+
+
+class TestFrozenMode:
+    @pytest.fixture(scope="class")
+    def artifact(self, pfci_trace):
+        head = pfci_trace.select_days(0, 10)
+        return fit_artifact(
+            head, 48, model="ridge", site="PFCI",
+            training=TrainingConfig(min_train_days=2),
+        )
+
+    def test_frozen_serves_artifact_weights(self, artifact):
+        predictor = LearnedPredictor(48, artifact=artifact)
+        assert predictor.frozen
+        assert predictor.is_fitted
+        assert predictor.model == "ridge"
+
+    def test_frozen_never_refits(self, artifact, rng):
+        predictor = LearnedPredictor(48, artifact=artifact)
+        for v in rng.uniform(0, 900, size=48 * 10):
+            predictor.observe(v)
+        assert predictor.fit_count == 0
+
+    def test_reset_keeps_weights(self, artifact):
+        predictor = LearnedPredictor(48, artifact=artifact)
+        predictor.reset()
+        assert predictor.is_fitted
+        assert predictor.frozen
+
+    def test_schema_mismatch_is_loud(self, artifact):
+        stale = ModelArtifact.from_dict(
+            {**artifact.to_dict(), "feature_schema": FEATURE_SCHEMA_VERSION + 3}
+        )
+        with pytest.raises(ValueError) as err:
+            LearnedPredictor(48, artifact=stale)
+        message = str(err.value)
+        assert str(FEATURE_SCHEMA_VERSION + 3) in message
+        assert str(FEATURE_SCHEMA_VERSION) in message
+
+    def test_geometry_mismatch_rejected(self, artifact):
+        with pytest.raises(ValueError, match="N=48"):
+            LearnedPredictor(24, artifact=artifact)
+
+    def test_model_kind_mismatch_rejected(self, artifact):
+        with pytest.raises(ValueError, match="ridge"):
+            LearnedPredictor(48, model="gbm", artifact=artifact)
+
+
+class TestStateDict:
+    @pytest.mark.parametrize("model", ["ridge", "gbm"])
+    def test_round_trip_continuation(self, model, rng):
+        n_slots = 6
+        values = rng.uniform(0, 900, size=n_slots * 8)
+        full = LearnedPredictor(n_slots, model=model, training=FAST)
+        expected = [full.observe(v) for v in values]
+
+        first = LearnedPredictor(n_slots, model=model, training=FAST)
+        cut = 29
+        for v in values[:cut]:
+            first.observe(v)
+        snapshot = first.state_dict()
+
+        resumed = LearnedPredictor(n_slots, model=model, training=FAST)
+        resumed.load_state_dict(snapshot)
+        tail = [resumed.observe(v) for v in values[cut:]]
+        np.testing.assert_allclose(tail, expected[cut:], rtol=0, atol=1e-9)
+
+    def test_tampered_schema_is_loud(self):
+        predictor = LearnedPredictor(6, model="ridge", training=FAST)
+        state = predictor.state_dict()
+        state["feature_schema"] = FEATURE_SCHEMA_VERSION + 9
+        with pytest.raises(ValueError) as err:
+            predictor.load_state_dict(state)
+        message = str(err.value)
+        assert str(FEATURE_SCHEMA_VERSION + 9) in message
+        assert str(FEATURE_SCHEMA_VERSION) in message
+
+    def test_wrong_kind_rejected(self):
+        predictor = LearnedPredictor(6, model="ridge", training=FAST)
+        with pytest.raises(ValueError, match="learned"):
+            predictor.load_state_dict({"kind": "wcma"})
+
+    def test_config_mismatch_rejected(self):
+        a = LearnedPredictor(6, model="ridge", training=FAST)
+        b = LearnedPredictor(6, model="ridge")  # default TrainingConfig
+        with pytest.raises(ValueError, match="training config"):
+            b.load_state_dict(a.state_dict())

@@ -86,12 +86,13 @@ class TestVectorisedModels:
         stacked = DutyCycledLoad.stack(loads)
         duty = np.array([0.3, 0.7])
         np.testing.assert_array_equal(
-            stacked.power(duty), [l.power(float(d)) for l, d in zip(loads, duty)]
+            stacked.power(duty),
+            [ld.power(float(d)) for ld, d in zip(loads, duty)],
         )
         watts = np.array([0.01, 0.02])
         np.testing.assert_array_equal(
             stacked.duty_for_power(watts),
-            [l.duty_for_power(float(w)) for l, w in zip(loads, watts)],
+            [ld.duty_for_power(float(w)) for ld, w in zip(loads, watts)],
         )
 
     def test_controller_stack_elementwise(self):

@@ -1,6 +1,5 @@
 """Tests for the profile-based planning controller."""
 
-import numpy as np
 import pytest
 
 from repro.core.wcma import WCMAParams, WCMAPredictor

@@ -1,0 +1,106 @@
+"""Artifact-backed serving: ForecastService(model_dir=...).
+
+The serve half of the train/serve split: a site whose ``(dataset,
+predictor)`` pair has a stored artifact registers *frozen* (the trained
+weights serve, no online refits); sites without one fall back to the
+plain online factory; a schema-stale artifact is a loud registration
+error, never a silent mis-prediction.
+"""
+
+import pickle
+
+import pytest
+
+from repro.learn.artifact import ArtifactStore
+from repro.learn.features import FEATURE_SCHEMA_VERSION
+from repro.learn.models import TrainingConfig
+from repro.learn.training import fit_artifact
+from repro.serve import ForecastService
+from repro.solar.datasets import build_dataset
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    """A store holding one trained PFCI ridge artifact."""
+    root = tmp_path_factory.mktemp("models")
+    trace = build_dataset("PFCI", n_days=12, seed=0)
+    artifact = fit_artifact(
+        trace, 48, model="ridge", site="PFCI",
+        training=TrainingConfig(min_train_days=4),
+    )
+    ArtifactStore(root).save(artifact)
+    return root
+
+
+class TestFrozenRegistration:
+    def test_register_serves_artifact(self, model_dir):
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        reg = svc.handle({"op": "register", "site": "PFCI"})
+        assert reg["ok"] and reg["frozen"] is True
+        assert len(reg["model_digest"]) == 16
+        node = svc._nodes["PFCI"]
+        assert node.predictor.frozen and node.predictor.is_fitted
+
+    def test_digest_matches_store(self, model_dir):
+        stored = ArtifactStore(model_dir).load("PFCI", "ridge")
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        reg = svc.handle({"op": "register", "site": "PFCI"})
+        assert reg["model_digest"] == stored.digest()
+
+    def test_logical_site_resolves_via_dataset(self, model_dir):
+        # Artifacts key on the *dataset*, so a named node backed by
+        # PFCI data picks up the PFCI model.
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        reg = svc.handle(
+            {"op": "register", "site": "node-17", "dataset": "PFCI"}
+        )
+        assert reg["ok"] and reg.get("frozen") is True
+
+    def test_observe_forecast_lifecycle(self, model_dir):
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        svc.handle({"op": "register", "site": "PFCI"})
+        obs = svc.handle({"op": "observe", "site": "PFCI", "value": 120.0})
+        assert obs["ok"] and obs["prediction"] >= 0.0
+        fc = svc.handle({"op": "forecast", "site": "PFCI"})
+        assert fc["ok"] and fc["prediction"] == obs["prediction"]
+
+
+class TestFallback:
+    def test_site_without_artifact_runs_online(self, model_dir):
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        reg = svc.handle({"op": "register", "site": "HSU"})
+        assert reg["ok"] and "frozen" not in reg and "model_digest" not in reg
+        node = svc._nodes["HSU"]
+        assert not node.predictor.frozen
+
+    def test_no_model_dir_is_plain_online(self):
+        svc = ForecastService(n_slots=48, predictor="ridge")
+        reg = svc.handle({"op": "register", "site": "PFCI"})
+        assert reg["ok"] and "frozen" not in reg
+
+    def test_stats_reports_artifact_backing(self, model_dir):
+        backed = ForecastService(n_slots=48, predictor="ridge", model_dir=model_dir)
+        plain = ForecastService(n_slots=48, predictor="ridge")
+        assert backed.handle({"op": "stats"})["artifact_backed"] is True
+        assert plain.handle({"op": "stats"})["artifact_backed"] is False
+
+
+class TestSchemaRejection:
+    def test_stale_schema_fails_registration_loudly(self, model_dir, tmp_path):
+        store = ArtifactStore(tmp_path)
+        src = ArtifactStore(model_dir).path_for("PFCI", "ridge")
+        dst = store.path_for("PFCI", "ridge")
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        with open(src, "rb") as handle:
+            envelope = pickle.load(handle)
+        envelope["feature_schema"] = FEATURE_SCHEMA_VERSION + 5
+        with open(dst, "wb") as handle:
+            pickle.dump(envelope, handle)
+
+        svc = ForecastService(n_slots=48, predictor="ridge", model_dir=tmp_path)
+        reg = svc.handle({"op": "register", "site": "PFCI"})
+        assert reg["ok"] is False
+        assert str(FEATURE_SCHEMA_VERSION + 5) in reg["error"]
+        assert str(FEATURE_SCHEMA_VERSION) in reg["error"]
+        # The failed registration must not leave a half-built node.
+        assert "PFCI" not in svc._nodes

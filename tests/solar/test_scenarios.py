@@ -20,7 +20,6 @@ from repro.solar.scenarios import (
     scenario_descriptions,
     unregister_scenario,
 )
-from repro.solar.trace import SolarTrace
 
 
 def _ctx(trace, seed=0):

@@ -5,7 +5,6 @@ span module boundaries: trace/io round trips, predictor output bounds,
 metric algebra, and fixed-point consistency.
 """
 
-import io
 
 import numpy as np
 import pytest
