@@ -501,6 +501,12 @@ def _print_exec_stats(stats_list, cache) -> None:
         if cache is not None:
             line += f" cache-hits={s.cache_hits} cache-misses={s.cache_misses}"
         line += f" elapsed={s.elapsed_s:.2f}s"
+        stages = getattr(s, "stage_seconds", None)
+        if stages:
+            line += " stages=" + ",".join(
+                f"{stage}:{seconds:.2f}s"
+                for stage, seconds in sorted(stages.items())
+            )
         print(line, file=sys.stderr)
 
 

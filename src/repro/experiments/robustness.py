@@ -24,7 +24,9 @@ Two harnesses:
   built for.  Reports duty/downtime/waste per cell.
 
 Parallel execution mirrors :mod:`repro.experiments.runner`: the unit of
-work is one (site, scenario) cell, cells are independent by
+work is one (site, scenario) cell -- except for the learned predictors
+(:data:`STACKED_MATRIX_PREDICTORS`), whose cells run *column-stacked*
+as one B-node kernel slab per predictor -- units are independent by
 construction, workers own private trace caches, and both code paths
 run through the shared executor
 (:func:`repro.parallel.executor.execute_units`), so the merged output
@@ -36,7 +38,10 @@ With a :class:`~repro.parallel.cache.ResultCache`, each cell's rows are
 memoised under a digest of (site, scenario, n_days, n_slots,
 predictors, seed, tune_wcma, dataset identity, code salt) *before* the
 degradation fill -- an interrupted matrix resumes from its finished
-cells and only recomputes the missing ones.
+cells and only recomputes the missing ones.  Learned slabs get their
+own keys, which additionally fold in the full training config and the
+feature-schema version, so a hyper-parameter flip or feature
+redefinition re-runs the learned slice instead of serving it stale.
 
 Measured sites (:mod:`repro.solar.ingest.sites`) flow through both
 harnesses by name like the synthetic six -- including their
@@ -50,6 +55,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.optimizer import SweepSpec, mape_for_params, sweep_many
 from repro.core.registry import available_predictors, make_predictor
 from repro.core.wcma import WCMABatch, WCMAParams
@@ -59,7 +66,7 @@ from repro.experiments.common import (
     sites_for,
     trace_for,
 )
-from repro.metrics.evaluate import evaluate_predictor
+from repro.metrics.evaluate import evaluate_predictor, score_predictions
 from repro.solar.scenarios import (
     DEFAULT_SCENARIO_SEED,
     available_scenarios,
@@ -70,6 +77,7 @@ __all__ = [
     "DEFAULT_SCENARIOS",
     "DEFAULT_MATRIX_PREDICTORS",
     "LEARNED_MATRIX_PREDICTORS",
+    "STACKED_MATRIX_PREDICTORS",
     "TUNED_WCMA_LABEL",
     "scenarios_for",
     "run",
@@ -108,6 +116,16 @@ DEFAULT_MATRIX_PREDICTORS = ("wcma", "ewma", "persistence")
 #: regime-shift cells the adaptive selector beats every fixed-parameter
 #: WCMA configuration, including the per-cell re-tuned one.
 LEARNED_MATRIX_PREDICTORS = ("wcma", "ewma", "ridge", "gbm", "adaptive")
+
+#: Learned predictors the matrix evaluates *column-stacked*: every
+#: (site, scenario) cell becomes one column of a single B-node
+#: :class:`~repro.learn.predictor.LearnedKernel` run, so the whole
+#: learned slice advances lock-step through one batched refit per fit
+#: day instead of ``n_cells`` scalar ones.  Column independence is
+#: bitwise (the kernel's vector parity guarantee), so stacked cells
+#: reproduce the per-cell path byte-for-byte.  The adaptive selectors
+#: stay per-cell: they are scalar expert blends, not batch kernels.
+STACKED_MATRIX_PREDICTORS = ("ridge", "gbm")
 
 #: Row label of the re-tuned WCMA (full grid search per cell).
 TUNED_WCMA_LABEL = "wcma-tuned"
@@ -230,6 +248,116 @@ def _cell_key(
     )
 
 
+def _learned_slab_unit(
+    predictor: str,
+    sites: Tuple[str, ...],
+    scenarios: Tuple[str, ...],
+    n_days: int,
+    n_slots: int,
+    seed: int,
+    training: Optional[dict],
+) -> dict:
+    """Score one learned predictor on *every* (site, scenario) cell at once.
+
+    Each cell's perturbed trace becomes one column of a ``B``-node
+    :class:`~repro.learn.predictor.LearnedKernel`, fed through exactly
+    the causal slot-mean protocol of
+    :func:`~repro.metrics.evaluate.evaluate_predictor` -- one
+    ``provide_slot_mean`` / ``observe`` pair per boundary for the whole
+    stack -- then each column is scored independently.  Kernel columns
+    are bitwise-independent, so the returned per-cell MAPEs equal the
+    per-cell scalar path's byte-for-byte while every refit runs once,
+    batched, instead of once per cell.
+
+    Returns ``{"mape": [...], "stage_seconds": {...}}`` with one MAPE
+    per (site-major, scenario-minor) cell and the kernel's cumulative
+    features/refit/predict stage timings.
+    """
+    from repro.core.registry import make_vector_predictor
+    from repro.solar.slots import SlotView
+
+    columns = []
+    for site in sites:
+        base = trace_for(site, n_days)
+        for scenario_name in scenarios:
+            perturbed = make_scenario(scenario_name, seed=seed).apply(base)
+            view = SlotView.from_trace(perturbed, n_slots)
+            columns.append((view.flat_starts(), view.flat_means()))
+    starts = np.stack([c[0] for c in columns], axis=1)  # (T, B)
+    means = np.stack([c[1] for c in columns], axis=1)
+
+    kwargs = {} if training is None else {"training": training}
+    kernel = make_vector_predictor(
+        predictor, n_slots, batch_size=starts.shape[1], **kwargs
+    )
+    kernel.reset()
+    predictions = np.empty_like(starts)
+    if getattr(kernel, "uses_slot_mean_feedback", False):
+        for t in range(starts.shape[0]):
+            if t > 0:
+                kernel.provide_slot_mean(means[t - 1])
+            predictions[t] = kernel.observe(starts[t].copy())
+    else:
+        for t in range(starts.shape[0]):
+            predictions[t] = kernel.observe(starts[t].copy())
+
+    mapes = []
+    for j in range(starts.shape[1]):
+        run_ = score_predictions(
+            predictions=np.ascontiguousarray(predictions[:, j])[:-1],
+            reference_mean=np.ascontiguousarray(means[:, j])[:-1],
+            reference_next_start=np.ascontiguousarray(starts[:, j])[1:],
+            n_slots=n_slots,
+        )
+        mapes.append(float(run_.mape))
+    return {
+        "mape": mapes,
+        "stage_seconds": dict(getattr(kernel, "stage_seconds", {}) or {}),
+    }
+
+
+def _slab_key(
+    cache,
+    predictor: str,
+    sites: Tuple[str, ...],
+    scenarios: Tuple[str, ...],
+    n_days: int,
+    n_slots: int,
+    seed: int,
+    training: dict,
+    feature_schema: int,
+    identities,
+) -> str:
+    """Cache digest of one stacked learned-predictor slab.
+
+    Unlike the plain cell key, the digest folds in the full
+    :class:`~repro.learn.models.TrainingConfig` and the feature-schema
+    version: a hyper-parameter flip or a feature redefinition must miss
+    the cache, never serve a stale learned slice.
+    """
+    return cache.key(
+        {
+            "kind": "robustness-learned-slab",
+            "predictor": predictor,
+            "sites": list(sites),
+            "scenarios": list(scenarios),
+            "n_days": n_days,
+            "n_slots": n_slots,
+            "seed": seed,
+            "training": dict(training),
+            "feature_schema": int(feature_schema),
+            "token": [identities[site] for site in sites],
+        }
+    )
+
+
+def _robustness_unit(kind: str, args: tuple):
+    """Executor dispatch: plain cells and learned slabs share one pool."""
+    if kind == "cell":
+        return _matrix_unit(*args)
+    return _learned_slab_unit(*args)
+
+
 def _matrix_row(scenario: str, site: str, predictor: str, error: float) -> dict:
     return {
         "scenario": scenario,
@@ -255,6 +383,7 @@ def run(
     backend: Optional[str] = None,
     cache=None,
     stats: Optional[list] = None,
+    training=None,
 ) -> ExperimentResult:
     """The robustness matrix: every (scenario, site, predictor) cell.
 
@@ -290,6 +419,11 @@ def run(
     stats:
         Optional list; the call appends its
         :class:`~repro.parallel.executor.ExecutionStats` record.
+    training:
+        Optional :class:`~repro.learn.models.TrainingConfig` (or its
+        dict form) for the learned predictors; ``None`` keeps the
+        package defaults.  Folded into the learned slabs' cache keys,
+        so a hyper-parameter change can never serve a stale cell.
     """
     from repro.parallel.executor import execute_units
 
@@ -301,20 +435,61 @@ def run(
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
 
-    units = [(site, scenario) for site in site_list for scenario in scenario_list]
+    # The learned predictors run column-stacked (one slab unit per
+    # predictor covering every cell); everything else stays per-cell.
+    stacked = tuple(p for p in predictor_list if p in STACKED_MATRIX_PREDICTORS)
+    cell_predictors = tuple(p for p in predictor_list if p not in stacked)
+    training_dict = None
+    if training is not None or stacked:
+        from repro.learn.models import TrainingConfig
+
+        if training is None:
+            training_cfg = TrainingConfig()
+        elif isinstance(training, TrainingConfig):
+            training_cfg = training
+        else:
+            training_cfg = TrainingConfig.from_dict(dict(training))
+        training_dict = training_cfg.to_dict()
+
+    cells = [(site, scenario) for site in site_list for scenario in scenario_list]
+    run_cells = bool(cell_predictors) or tune_wcma
+    units: List[tuple] = []
+    if run_cells:
+        units.extend(
+            ("cell", (site, scenario, n_days, n_slots, cell_predictors,
+                      seed, tune_wcma))
+            for site, scenario in cells
+        )
+    units.extend(
+        ("slab", (name, site_list, scenario_list, n_days, n_slots, seed,
+                  training_dict))
+        for name in stacked
+    )
 
     keys = None
     if cache is not None:
         from repro.parallel.cache import dataset_identity
 
         identities = {site: dataset_identity(site) for site in site_list}
-        keys = [
-            _cell_key(
-                cache, site, scenario, n_days, n_slots, predictor_list,
-                seed, tune_wcma, identities[site],
+        keys = []
+        if run_cells:
+            keys.extend(
+                _cell_key(
+                    cache, site, scenario, n_days, n_slots, cell_predictors,
+                    seed, tune_wcma, identities[site],
+                )
+                for site, scenario in cells
             )
-            for site, scenario in units
-        ]
+        if stacked:
+            from repro.learn.features import FEATURE_SCHEMA_VERSION
+
+            keys.extend(
+                _slab_key(
+                    cache, name, site_list, scenario_list, n_days, n_slots,
+                    seed, training_dict, FEATURE_SCHEMA_VERSION, identities,
+                )
+                for name in stacked
+            )
 
     initializer = None
     initargs = ()
@@ -328,11 +503,8 @@ def run(
             initargs = (measured,)
 
     outputs, exec_stats = execute_units(
-        _matrix_unit,
-        [
-            (site, scenario, n_days, n_slots, predictor_list, seed, tune_wcma)
-            for site, scenario in units
-        ],
+        _robustness_unit,
+        units,
         jobs=jobs,
         backend=backend,
         initializer=initializer,
@@ -340,10 +512,40 @@ def run(
         cache=cache,
         keys=keys,
     )
+
+    # Re-interleave the slab columns into the original per-cell row
+    # order (predictor_list order inside each cell, tuned WCMA last),
+    # so the merged output is byte-identical to the all-per-cell path.
+    n_cell_units = len(cells) if run_cells else 0
+    slab_mapes = {
+        name: outputs[n_cell_units + i]["mape"]
+        for i, name in enumerate(stacked)
+    }
+    rows = []
+    for c, (site, scenario) in enumerate(cells):
+        by_name: Dict[str, dict] = {}
+        if run_cells:
+            by_name = {row["predictor"]: row for row in outputs[c]}
+        for name in predictor_list:
+            if name in slab_mapes:
+                rows.append(_matrix_row(scenario, site, name, slab_mapes[name][c]))
+            else:
+                rows.append(by_name[name])
+        if tune_wcma:
+            rows.append(by_name[TUNED_WCMA_LABEL])
+
+    if stacked:
+        stage_totals: Dict[str, float] = {}
+        for i in range(len(stacked)):
+            for stage, seconds in (
+                outputs[n_cell_units + i].get("stage_seconds") or {}
+            ).items():
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + seconds
+        if stage_totals:
+            exec_stats.stage_seconds = stage_totals
     if stats is not None:
         stats.append(exec_stats)
 
-    rows = [row for unit_rows in outputs for row in unit_rows]
     _fill_degradation(rows)
     return ExperimentResult(
         experiment="robustness",

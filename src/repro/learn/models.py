@@ -20,6 +20,22 @@ Model parameters are plain dicts of numpy arrays/scalars with a
 byte-stable; :func:`predict_model` scores a whole ``(n, F)`` matrix and
 is what offline evaluation uses, while the online kernel keeps stacked
 per-node copies of the same arrays for batched prediction.
+
+**Batched training kernels.**  :func:`fit_ridge_batch` and
+:func:`fit_gbm_batch` fit ``B`` independent nodes from one stacked
+``(n, B, F)`` / ``(n, B)`` training window in a single pass: batched
+normal equations through ``np.linalg.solve`` over ``(B, F, F)``, and a
+cross-node stump search whose per-round ``(B, F, n_sub, Q)`` split-gain
+tensor is reduced by one stacked gufunc matmul.  Both are pinned
+*bitwise* against the frozen scalar loops in
+:mod:`repro.learn.reference` -- split selection is an argmax over
+gains, so "close" is not good enough; every stacked operation here is
+one whose per-slice reduction order provably matches the scalar code
+path (in particular: means are taken over contiguous rows, matmul core
+slices keep the reference ``(n, Q)`` shape, and the residual subset is
+gathered rather than zero-padded).  The scalar :func:`fit_gbm` is the
+``B == 1`` face of the batched kernel, which is what vectorizes its
+per-feature split-search loop too.
 """
 
 from __future__ import annotations
@@ -31,13 +47,28 @@ import numpy as np
 
 __all__ = [
     "MODEL_KINDS",
+    "GBM_FULL_BATCH_BUDGET",
     "TrainingConfig",
     "fit_standardizer",
     "fit_ridge",
     "fit_gbm",
     "fit_model",
+    "fit_ridge_batch",
+    "fit_gbm_batch",
+    "fit_model_batch",
+    "unstack_params",
+    "score_stumps",
     "predict_model",
 ]
+
+#: Largest per-round split-mask tensor (bool elements, ``B*F*n_sub*Q``)
+#: the GBM batch kernel materialises across all nodes at once.  Above
+#: it the kernel switches to a per-node F-stacked formulation -- both
+#: are bitwise-identical to the reference loop, so the switch is purely
+#: a working-set/perf knob: full-batch wins when the tensor fits cache
+#: (small windows, the fleet refit shape), per-node streaming wins on
+#: steady-state 60-day windows.
+GBM_FULL_BATCH_BUDGET = 16_000_000
 
 #: Registered learned-model kinds (registry names match).
 MODEL_KINDS = ("ridge", "gbm")
@@ -149,71 +180,176 @@ def fit_gbm(
     that find no admissible split (degenerate/constant data) append a
     neutral stump (``left == right == 0``), so stacked per-node arrays
     in the fleet kernel stay rectangular.
+
+    This is the ``B == 1`` face of :func:`fit_gbm_batch`, so the split
+    search runs one vectorized gain tensor per round instead of a
+    per-feature Python loop -- bitwise-identical to the frozen loop in
+    :func:`repro.learn.reference.fit_gbm_reference`.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float)
-    n, n_features = X.shape
+    params = fit_gbm_batch(X[:, None, :], y[:, None], config, rng=rng)
+    return {
+        "kind": "gbm",
+        "base": float(params["base"][0]),
+        "learning_rate": params["learning_rate"],
+        "feat": params["feat"][0].copy(),
+        "thr": params["thr"][0].copy(),
+        "left": params["left"][0].copy(),
+        "right": params["right"][0].copy(),
+    }
+
+
+def fit_ridge_batch(X: np.ndarray, y: np.ndarray, lam: float) -> dict:
+    """Fit ``B`` independent ridge models from one stacked window.
+
+    ``X`` is ``(n, B, F)``, ``y`` is ``(n, B)``; the result dict holds
+    the same keys as :func:`fit_ridge` with a leading node axis
+    (``mean``/``scale``/``weights`` are ``(B, F)``, ``intercept`` is
+    ``(B,)``).  One batched normal-equation solve over ``(B, F, F)``
+    replaces ``B`` scalar solves, bitwise-identically: the gram/rhs
+    gemms run on contiguous per-node slices of the reference shapes and
+    ``ybar`` is reduced over contiguous rows (a stacked column mean
+    would change the pairwise summation grouping).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, B, n_features = X.shape
+    mean = X.mean(axis=0)  # (B, F)
+    std = X.std(axis=0)
+    scale = np.where(std > 1e-12, std, 1.0)
+    Xs = (X - mean[None, :, :]) / scale[None, :, :]
+    ybar = np.ascontiguousarray(y.T).mean(axis=1)  # (B,)
+    reg = max(lam, 1e-10) * n
+    Xs_b = np.ascontiguousarray(Xs.transpose(1, 0, 2))  # (B, n, F)
+    gram = np.matmul(Xs_b.transpose(0, 2, 1), Xs_b) + reg * np.eye(n_features)
+    rhs = np.ascontiguousarray((y - ybar[None, :]).T)[:, :, None]  # (B, n, 1)
+    weights = np.linalg.solve(
+        gram, np.matmul(Xs_b.transpose(0, 2, 1), rhs)
+    )[:, :, 0]
+    return {
+        "kind": "ridge",
+        "mean": mean,
+        "scale": scale,
+        "weights": weights,
+        "intercept": ybar,
+    }
+
+
+def fit_gbm_batch(
+    X: np.ndarray,
+    y: np.ndarray,
+    config: TrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Fit ``B`` independent GBMs from one stacked window.
+
+    ``X`` is ``(n, B, F)``, ``y`` is ``(n, B)``; the result dict holds
+    the same keys as :func:`fit_gbm` with a leading node axis (``base``
+    is ``(B,)``, the stump arrays are ``(B, rounds)``).
+
+    The per-fit subsample stream is node-position-independent (the
+    online kernel reseeds every node from ``(seed, fit_index)``), so
+    one shared ``idx`` per round reproduces what ``B`` per-node
+    generators would draw, and the whole round reduces to one stacked
+    mask build + count + gufunc matmul.  Nodes stop splitting
+    independently: a node whose best gain is not positive goes
+    permanently inactive (monotone, like the reference ``break``) and
+    its remaining stumps stay neutral zeros, which also makes its
+    residual update an exact no-op.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, B, n_features = X.shape
     rounds = config.gbm_rounds
     lr = config.gbm_learning_rate
     min_leaf = config.gbm_min_leaf
+    n_thresholds = config.gbm_thresholds
 
-    base = float(y.mean())
-    residual = y - base
+    base = np.ascontiguousarray(y.T).mean(axis=1)  # (B,)
+    residual = y - base[None, :]
 
     # Split candidates: interior quantiles of each feature, fixed once
     # over the full training set (subsampling varies rows, not splits).
-    qs = np.arange(1, config.gbm_thresholds + 1) / (config.gbm_thresholds + 1)
-    thresholds = np.quantile(X, qs, axis=0)  # (Q, F)
+    qs = np.arange(1, n_thresholds + 1) / (n_thresholds + 1)
+    thr_bf = np.ascontiguousarray(
+        np.quantile(X, qs, axis=0).transpose(1, 2, 0)
+    )  # (B, F, Q)
 
-    feat = np.zeros(rounds, dtype=np.int64)
-    thr = np.zeros(rounds, dtype=float)
-    left = np.zeros(rounds, dtype=float)
-    right = np.zeros(rounds, dtype=float)
+    feat = np.zeros((B, rounds), dtype=np.int64)
+    thr = np.zeros((B, rounds), dtype=float)
+    left = np.zeros((B, rounds), dtype=float)
+    right = np.zeros((B, rounds), dtype=float)
 
     n_sub = n
     if config.gbm_subsample < 1.0 and rng is not None:
         n_sub = max(2 * min_leaf, int(n * config.gbm_subsample + 0.5))
         n_sub = min(n_sub, n)
 
-    for r in range(rounds):
-        if n_sub < n:
-            idx = np.sort(rng.choice(n, size=n_sub, replace=False))
-            Xr, rr = X[idx], residual[idx]
-        else:
-            Xr, rr = X, residual
-        r_total = rr.sum()
-        best_gain = 0.0
-        best = None
-        for f in range(n_features):
-            mask = Xr[:, f, None] <= thresholds[None, :, f]  # (n_sub, Q)
-            n_left = mask.sum(axis=0)
+    full_batch = B * n_features * n_sub * n_thresholds <= GBM_FULL_BATCH_BUDGET
+    active = np.ones(B, dtype=bool)
+    nodes = np.arange(B)
+    n_left = np.zeros((B, n_features, n_thresholds), dtype=np.int64)
+    s_left = np.zeros((B, n_features, n_thresholds), dtype=float)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for r in range(rounds):
+            if n_sub < n:
+                idx = np.sort(rng.choice(n, size=n_sub, replace=False))
+                Xr, rr = X[idx], residual[idx]
+            else:
+                Xr, rr = X, residual
+            rrT = np.ascontiguousarray(rr.T)  # (B, n_sub)
+            r_total = rrT.sum(axis=1)  # (B,) == per-node rr.sum()
+            Xr_t = Xr.transpose(1, 2, 0)  # (B, F, n_sub) view
+            if full_batch:
+                # One stacked (B, F, n_sub, Q) mask; the matmul's core
+                # slices are the reference (1, n_sub) @ (n_sub, Q).
+                mask = Xr_t[:, :, :, None] <= thr_bf[:, :, None, :]
+                n_left = mask.sum(axis=2)
+                s_left = np.matmul(rrT[:, None, None, :], mask)[:, :, 0, :]
+            else:
+                for b in range(B):
+                    if not active[b]:
+                        continue
+                    mask_b = Xr_t[b][:, :, None] <= thr_bf[b][:, None, :]
+                    n_left[b] = mask_b.sum(axis=1)
+                    s_left[b] = np.matmul(rrT[b], mask_b)  # (F, Q)
             n_right = n_sub - n_left
             ok = (n_left >= min_leaf) & (n_right >= min_leaf)
-            if not ok.any():
-                continue
-            s_left = rr @ mask
-            s_right = r_total - s_left
-            with np.errstate(divide="ignore", invalid="ignore"):
-                gain = np.where(
-                    ok,
-                    s_left**2 / np.maximum(n_left, 1)
-                    + s_right**2 / np.maximum(n_right, 1),
-                    -np.inf,
-                )
-            q = int(np.argmax(gain))  # first max -> lowest threshold index
-            if gain[q] > best_gain:
-                best_gain = float(gain[q])
-                best = (
-                    f,
-                    float(thresholds[q, f]),
-                    float(s_left[q] / n_left[q]),
-                    float(s_right[q] / n_right[q]),
-                )
-        if best is None:
-            break  # remaining stumps stay neutral (zeros)
-        feat[r], thr[r], left[r], right[r] = best
-        step = np.where(X[:, feat[r]] <= thr[r], left[r], right[r])
-        residual = residual - lr * step
+            s_right = r_total[:, None, None] - s_left
+            gain = np.where(
+                ok,
+                s_left**2 / np.maximum(n_left, 1)
+                + s_right**2 / np.maximum(n_right, 1),
+                -np.inf,
+            )
+            # First-occurrence argmax over the flattened (F, Q) grid is
+            # exactly the reference tie-break: lowest feature, then
+            # lowest threshold index; acceptance is a strictly positive
+            # gain, as in the reference's ``best_gain = 0.0`` start.
+            pick = np.argmax(gain.reshape(B, -1), axis=1)
+            f_pick = pick // n_thresholds
+            q_pick = pick - f_pick * n_thresholds
+            best_val = gain[nodes, f_pick, q_pick]
+            active &= best_val > 0.0
+            if not active.any():
+                break  # every node's remaining stumps stay neutral
+            sel_n_left = n_left[nodes, f_pick, q_pick]
+            sel_s_left = s_left[nodes, f_pick, q_pick]
+            feat[:, r] = np.where(active, f_pick, 0)
+            thr[:, r] = np.where(active, thr_bf[nodes, f_pick, q_pick], 0.0)
+            left[:, r] = np.where(active, sel_s_left / sel_n_left, 0.0)
+            right[:, r] = np.where(
+                active,
+                (r_total - sel_s_left) / (n_sub - sel_n_left),
+                0.0,
+            )
+            vals = X[:, nodes, feat[:, r]]  # (n, B)
+            step = np.where(
+                vals <= thr[None, :, r], left[None, :, r], right[None, :, r]
+            )
+            residual = residual - lr * step
 
     return {
         "kind": "gbm",
@@ -241,6 +377,70 @@ def fit_model(
     raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
 
 
+def fit_model_batch(
+    kind: str,
+    X: np.ndarray,
+    y: np.ndarray,
+    config: TrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Dispatch to the model family's stacked ``(n, B, F)`` fit kernel."""
+    if kind == "ridge":
+        return fit_ridge_batch(X, y, config.ridge_lambda)
+    if kind == "gbm":
+        return fit_gbm_batch(X, y, config, rng=rng)
+    raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
+
+
+def unstack_params(params: dict, node: int = 0) -> dict:
+    """One node's scalar param dict out of a stacked batch-fit result.
+
+    The returned dict is key-for-key and bitwise what the scalar fit
+    functions produce for that node's column, so artifacts built
+    through the batched path digest identically to loop-trained ones.
+    """
+    kind = params["kind"]
+    if kind == "ridge":
+        return {
+            "kind": "ridge",
+            "mean": params["mean"][node].copy(),
+            "scale": params["scale"][node].copy(),
+            "weights": params["weights"][node].copy(),
+            "intercept": float(params["intercept"][node]),
+        }
+    if kind == "gbm":
+        return {
+            "kind": "gbm",
+            "base": float(params["base"][node]),
+            "learning_rate": params["learning_rate"],
+            "feat": params["feat"][node].copy(),
+            "thr": params["thr"][node].copy(),
+            "left": params["left"][node].copy(),
+            "right": params["right"][node].copy(),
+        }
+    raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")
+
+
+def score_stumps(
+    vals: np.ndarray,
+    thr: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    base,
+    learning_rate: float,
+) -> np.ndarray:
+    """The GBM stump walk shared by every scoring path.
+
+    ``vals`` holds each row's gathered split-feature values against
+    per-round thresholds/leaves (all ``(..., rounds)``, broadcastable);
+    ``base`` is a scalar or one value per leading row.  Offline scoring
+    (:func:`predict_model`) and the online kernel's stacked per-node
+    prediction both reduce to exactly this compare/select/sum.
+    """
+    steps = np.where(vals <= thr, left, right)
+    return base + learning_rate * steps.sum(axis=-1)
+
+
 def predict_model(params: dict, X: np.ndarray) -> np.ndarray:
     """Score an ``(n, F)`` feature matrix with a fitted param dict."""
     X = np.asarray(X, dtype=float)
@@ -249,7 +449,12 @@ def predict_model(params: dict, X: np.ndarray) -> np.ndarray:
         Xs = (X - params["mean"]) / params["scale"]
         return Xs @ params["weights"] + params["intercept"]
     if kind == "gbm":
-        vals = X[:, params["feat"]]  # (n, R)
-        steps = np.where(vals <= params["thr"], params["left"], params["right"])
-        return params["base"] + params["learning_rate"] * steps.sum(axis=1)
+        return score_stumps(
+            X[:, params["feat"]],  # (n, R)
+            params["thr"],
+            params["left"],
+            params["right"],
+            params["base"],
+            params["learning_rate"],
+        )
     raise ValueError(f"unknown model kind {kind!r}; known: {MODEL_KINDS}")

@@ -38,6 +38,7 @@ must never emit a negative or NaN power forecast.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -51,9 +52,20 @@ from repro.learn.features import (
     FeatureConfig,
     FeatureState,
 )
-from repro.learn.models import MODEL_KINDS, TrainingConfig, fit_model
+from repro.learn.models import (
+    MODEL_KINDS,
+    TrainingConfig,
+    fit_model_batch,
+    score_stumps,
+)
 
-__all__ = ["LearnedKernel", "LearnedPredictor"]
+__all__ = ["REFIT_ENGINES", "LearnedKernel", "LearnedPredictor"]
+
+#: Refit dispatch: ``"batched"`` fits all ``B`` nodes through one
+#: stacked kernel call; ``"loop"`` is the frozen per-node reference
+#: (:mod:`repro.learn.reference`), kept on the real dispatch path so
+#: engine parity stays a one-flag experiment.
+REFIT_ENGINES = ("batched", "loop")
 
 
 def _coerce_features(features) -> FeatureConfig:
@@ -99,6 +111,12 @@ class LearnedKernel(VectorPredictor):
         provided; ``"sample"`` always trains on the next sample.
     fallback_alpha:
         Weight of persistence in the pre-fit fallback blend.
+    engine:
+        Refit dispatch (:data:`REFIT_ENGINES`): ``"batched"`` (default)
+        fits every node in one stacked kernel call, ``"loop"`` runs the
+        frozen per-node reference fits.  Bitwise-identical outputs --
+        a performance knob, not a model choice -- so it never enters
+        checkpoints or artifacts.
     """
 
     def __init__(
@@ -111,6 +129,7 @@ class LearnedKernel(VectorPredictor):
         artifact: Optional[Union[ModelArtifact, dict]] = None,
         feedback: str = "slot_mean",
         fallback_alpha: float = 0.5,
+        engine: str = "batched",
     ):
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
@@ -122,10 +141,15 @@ class LearnedKernel(VectorPredictor):
             )
         if not 0.0 <= fallback_alpha <= 1.0:
             raise ValueError(f"fallback_alpha must be in [0, 1], got {fallback_alpha}")
+        if engine not in REFIT_ENGINES:
+            raise ValueError(
+                f"unknown refit engine {engine!r}; known: {REFIT_ENGINES}"
+            )
         self.n_slots = n_slots
         self.batch_size = batch_size
         self.feedback = feedback
         self.fallback_alpha = float(fallback_alpha)
+        self.engine = engine
 
         if artifact is not None:
             if isinstance(artifact, dict):
@@ -178,6 +202,7 @@ class LearnedKernel(VectorPredictor):
         self._fitted = False
         self._fit_count = 0
         self._last_fit_day = 0
+        self._stage_seconds = {"features": 0.0, "refit": 0.0, "predict": 0.0}
         if self.frozen:
             self._load_params(artifact.params)
             self._fitted = True
@@ -243,13 +268,33 @@ class LearnedKernel(VectorPredictor):
             self._gb_left[node] = params["left"]
             self._gb_right[node] = params["right"]
 
+    def _store_params_batch(self, params: dict) -> None:
+        """Write a stacked batch-fit result over every node at once."""
+        if self.model == "ridge":
+            self._mean[...] = params["mean"]
+            self._scale[...] = params["scale"]
+            self._w[...] = params["weights"]
+            self._b[...] = params["intercept"]
+        else:
+            self._gb_base[...] = params["base"]
+            self._gb_lr = float(params["learning_rate"])
+            self._gb_feat[...] = params["feat"]
+            self._gb_thr[...] = params["thr"]
+            self._gb_left[...] = params["left"]
+            self._gb_right[...] = params["right"]
+
     def _predict(self, feats: np.ndarray) -> np.ndarray:
         if self.model == "ridge":
             z = (feats - self._mean) / self._scale
             return (z * self._w).sum(axis=1) + self._b
-        vals = np.take_along_axis(feats, self._gb_feat, axis=1)  # (B, R)
-        steps = np.where(vals <= self._gb_thr, self._gb_left, self._gb_right)
-        return self._gb_base + self._gb_lr * steps.sum(axis=1)
+        return score_stumps(
+            np.take_along_axis(feats, self._gb_feat, axis=1),  # (B, R)
+            self._gb_thr,
+            self._gb_left,
+            self._gb_right,
+            self._gb_base,
+            self._gb_lr,
+        )
 
     # ------------------------------------------------------------------
     # Protocol
@@ -268,6 +313,16 @@ class LearnedKernel(VectorPredictor):
     def fit_count(self) -> int:
         """Number of online refits performed since reset."""
         return self._fit_count
+
+    @property
+    def stage_seconds(self) -> dict:
+        """Cumulative per-stage wall-clock since reset.
+
+        ``features`` / ``refit`` / ``predict`` seconds spent inside
+        :meth:`observe`, for the benchmark layer and the CLI's
+        ``[parallel]`` stage breakdown.
+        """
+        return dict(self._stage_seconds)
 
     def provide_slot_mean(self, mean_watts: np.ndarray) -> None:
         """Report the just-finished slot's realized ``(B,)`` mean power.
@@ -289,6 +344,7 @@ class LearnedKernel(VectorPredictor):
         self._pending = None
         self._fit_count = 0
         self._last_fit_day = 0
+        self._stage_seconds = {"features": 0.0, "refit": 0.0, "predict": 0.0}
         if self.frozen:
             self._load_params(self.artifact.params)
 
@@ -305,7 +361,10 @@ class LearnedKernel(VectorPredictor):
             self._y[(self._t - 1) % self._cap] = reference
 
         # 2. Features at this boundary (strictly causal).
+        t0 = time.perf_counter()
         feats = self._features.step(values)
+        t1 = time.perf_counter()
+        self._stage_seconds["features"] += t1 - t0
 
         # 3. Training-window bookkeeping and the day-boundary refit.
         if not self.frozen:
@@ -317,9 +376,12 @@ class LearnedKernel(VectorPredictor):
                     or completed - self._last_fit_day >= self.training.refit_days
                 )
                 if completed >= self.training.min_train_days and due:
+                    t0 = time.perf_counter()
                     self._refit(completed)
+                    self._stage_seconds["refit"] += time.perf_counter() - t0
 
         # 4. Predict: fitted model, else the rule-based fallback.
+        t0 = time.perf_counter()
         fallback = (
             self.fallback_alpha * values
             + (1.0 - self.fallback_alpha) * feats[:, IDX_MU_NEXT]
@@ -330,7 +392,9 @@ class LearnedKernel(VectorPredictor):
         else:
             pred = fallback
         self._t += 1
-        return np.maximum(pred, 0.0)
+        pred = np.maximum(pred, 0.0)
+        self._stage_seconds["predict"] += time.perf_counter() - t0
+        return pred
 
     def _refit(self, completed_days: int) -> None:
         """Refit every node on the trailing window (lock-step schedule).
@@ -339,7 +403,9 @@ class LearnedKernel(VectorPredictor):
         window is the last ``min(t, cap - 1)`` *closed* rows.  Every
         node reseeds its subsample generator from ``(seed, fit_index)``
         -- node-position-independent, so a ``B``-node kernel fits
-        exactly what ``B`` separate scalar kernels would.
+        exactly what ``B`` separate scalar kernels would, and the
+        batched engine can share one generator (and one subsample
+        stream) across the whole stack.
         """
         count = min(self._t, self._cap - 1)
         if count <= 1:
@@ -347,10 +413,20 @@ class LearnedKernel(VectorPredictor):
         order = np.arange(self._t - count, self._t) % self._cap
         Xw = self._X[order]
         yw = self._y[order]
-        for b in range(self.batch_size):
+        if self.engine == "loop":
+            from repro.learn.reference import fit_model_reference
+
+            for b in range(self.batch_size):
+                rng = np.random.default_rng([self.training.seed, self._fit_count])
+                params = fit_model_reference(
+                    self.model, Xw[:, b, :], yw[:, b], self.training, rng
+                )
+                self._store_params(b, params)
+        else:
             rng = np.random.default_rng([self.training.seed, self._fit_count])
-            params = fit_model(self.model, Xw[:, b, :], yw[:, b], self.training, rng)
-            self._store_params(b, params)
+            self._store_params_batch(
+                fit_model_batch(self.model, Xw, yw, self.training, rng)
+            )
         self._fitted = True
         self._fit_count += 1
         self._last_fit_day = completed_days

@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.learn.artifact import ModelArtifact
 from repro.learn.features import FEATURE_SCHEMA_VERSION, N_FEATURES, FeatureConfig, FeatureState
-from repro.learn.models import TrainingConfig, fit_model, predict_model
+from repro.learn.models import (
+    TrainingConfig,
+    fit_model_batch,
+    predict_model,
+    unstack_params,
+)
 from repro.metrics.evaluate import score_predictions
 from repro.solar.slots import SlotView
 from repro.solar.trace import SolarTrace
@@ -63,6 +68,7 @@ def fit_artifact(
     site: Optional[str] = None,
     features: Optional[FeatureConfig] = None,
     training: Optional[TrainingConfig] = None,
+    engine: str = "batched",
 ) -> ModelArtifact:
     """Train ``model`` on ``trace`` and wrap it as a persistable artifact.
 
@@ -71,9 +77,19 @@ def fit_artifact(
     a warm-up regime it never serves under); the GBM subsample stream
     is seeded from ``(training.seed, 0)``, matching the online kernel's
     first fit.
+
+    ``engine`` mirrors :data:`repro.learn.predictor.REFIT_ENGINES`:
+    ``"batched"`` (default) runs the stacked fit kernels at ``B == 1``,
+    ``"loop"`` the frozen scalar reference -- both produce byte-identical
+    artifacts (digest-pinned in the determinism suite), so the flag is
+    a cross-check, not a model choice, and never enters provenance.
     """
     features = features if features is not None else FeatureConfig()
     training = training if training is not None else TrainingConfig()
+    if engine not in ("batched", "loop"):
+        raise ValueError(
+            f"unknown fit engine {engine!r}; known: ('batched', 'loop')"
+        )
     X, y, starts = build_training_set(trace, n_slots, features)
     skip = training.min_train_days * n_slots
     if X.shape[0] - skip < 2 * n_slots:
@@ -83,7 +99,16 @@ def fit_artifact(
             "warm-up plus two trainable days)"
         )
     rng = np.random.default_rng([training.seed, 0])
-    params = fit_model(model, X[skip:], y[skip:], training, rng)
+    if engine == "loop":
+        from repro.learn.reference import fit_model_reference
+
+        params = fit_model_reference(model, X[skip:], y[skip:], training, rng)
+    else:
+        params = unstack_params(
+            fit_model_batch(
+                model, X[skip:, None, :], y[skip:, None], training, rng
+            )
+        )
 
     predictions = np.maximum(predict_model(params, X), 0.0)
     # In-sample provenance MAPE over exactly the trained rows: warm-up

@@ -60,6 +60,10 @@ class ExecutionStats:
     n_chunks: int
     dispatch_s: float  #: submit + collect overhead, excl. inline unit work
     elapsed_s: float
+    #: Optional per-stage unit-work seconds (e.g. the learned slabs'
+    #: features/refit/predict split), filled in by harnesses whose
+    #: units report their own timings.  ``None`` when no unit did.
+    stage_seconds: Optional[dict] = None
 
     @property
     def dispatch_per_unit_s(self) -> float:
@@ -70,6 +74,13 @@ class ExecutionStats:
     def as_dict(self) -> dict:
         payload = asdict(self)
         payload["dispatch_per_unit_s"] = round(self.dispatch_per_unit_s, 6)
+        if self.stage_seconds is None:
+            payload.pop("stage_seconds")
+        else:
+            payload["stage_seconds"] = {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_seconds.items()
+            }
         return payload
 
 

@@ -5,6 +5,11 @@ fresh interpreters with *different* ``PYTHONHASHSEED`` values must
 produce byte-identical artifact files and equal content digests.  Dict
 iteration order is the classic leak this catches -- any fit path that
 walks an unordered set of features or keys will diverge here.
+
+The fit ``engine`` joins the matrix: the batched stacked kernels and
+the frozen scalar reference loop must produce byte-identical artifacts
+in fresh interpreters too, so the fast path can never fork artifact
+provenance.
 """
 
 import json
@@ -22,11 +27,12 @@ from repro.learn.models import TrainingConfig
 from repro.learn.training import fit_artifact
 from repro.experiments.common import trace_for
 
-out_dir, model = sys.argv[1], sys.argv[2]
+out_dir, model, engine = sys.argv[1], sys.argv[2], sys.argv[3]
 trace = trace_for("PFCI", 16)
 artifact = fit_artifact(
     trace, 24, model=model, site="PFCI",
     training=TrainingConfig(min_train_days=4, gbm_rounds=12, seed=7),
+    engine=engine,
 )
 store = ArtifactStore(out_dir)
 digest = store.save(artifact)
@@ -38,13 +44,15 @@ print(json.dumps({
 """
 
 
-def _train_in_subprocess(tmp_path: Path, model: str, hash_seed: str) -> dict:
-    out_dir = tmp_path / f"hs{hash_seed}-{model}"
+def _train_in_subprocess(
+    tmp_path: Path, model: str, hash_seed: str, engine: str = "batched"
+) -> dict:
+    out_dir = tmp_path / f"hs{hash_seed}-{model}-{engine}"
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
     env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
     proc = subprocess.run(
-        [sys.executable, "-c", _SCRIPT, str(out_dir), model],
+        [sys.executable, "-c", _SCRIPT, str(out_dir), model, engine],
         env=env,
         capture_output=True,
         text=True,
@@ -60,3 +68,17 @@ def test_training_is_hashseed_invariant(tmp_path, model):
     b = _train_in_subprocess(tmp_path, model, hash_seed="42")
     assert a["digest"] == b["digest"]
     assert a["file_sha256"] == b["file_sha256"]
+
+
+@pytest.mark.parametrize("model", ["ridge", "gbm"])
+def test_batched_engine_matches_loop_across_hashseeds(tmp_path, model):
+    """The batched fast path and the frozen scalar reference produce one
+    artifact: every (engine, PYTHONHASHSEED) combination must agree on
+    both the content digest and the on-disk bytes."""
+    results = [
+        _train_in_subprocess(tmp_path, model, hash_seed, engine)
+        for engine in ("batched", "loop")
+        for hash_seed in ("0", "42")
+    ]
+    assert len({r["digest"] for r in results}) == 1
+    assert len({r["file_sha256"] for r in results}) == 1
